@@ -1,0 +1,28 @@
+# Convenience targets for the WHISPER reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/private_chat.py
+	$(PYTHON) examples/private_dht.py
+	$(PYTHON) examples/leader_failover.py
+	$(PYTHON) examples/churn_resilience.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,51 @@
+"""Ablation studies over WHISPER's design choices (see DESIGN.md)."""
+
+from repro.experiments import ablations, bench_scale
+
+
+def test_ablation_path_length(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: ablations.run_path_length(scale=scale, messages=120),
+        rounds=1, iterations=1,
+    )
+    record_report("ablation_path_length", report)
+    assert report.sections
+
+
+def test_ablation_pi_sweep(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: ablations.run_pi_sweep(scale=scale), rounds=1, iterations=1
+    )
+    record_report("ablation_pi_sweep", report)
+    assert report.sections
+
+
+def test_ablation_session_leases(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: ablations.run_session_leases(scale=scale), rounds=1, iterations=1
+    )
+    record_report("ablation_session_leases", report)
+    assert report.sections
+
+
+def test_ablation_truncation_policy(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: ablations.run_truncation_policy(scale=scale),
+        rounds=1, iterations=1,
+    )
+    record_report("ablation_truncation_policy", report)
+    assert report.sections
+
+
+def test_ablation_observation_sweep(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: ablations.run_observation_sweep(scale=scale, messages=120),
+        rounds=1, iterations=1,
+    )
+    record_report("ablation_observation_sweep", report)
+    assert report.sections

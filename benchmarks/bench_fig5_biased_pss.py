@@ -1,0 +1,12 @@
+"""Fig. 5 — biased PSS: clustering and in-degree distributions, Pi = 0..3."""
+
+from repro.experiments import bench_scale, fig5_biased_pss
+
+
+def test_fig5_biased_pss(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig5_biased_pss.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("fig5_biased_pss", report)
+    assert report.sections

@@ -1,0 +1,12 @@
+"""Fig. 6 — public key sampling bandwidth across configs and N:P ratios."""
+
+from repro.experiments import bench_scale, fig6_key_sampling
+
+
+def test_fig6_key_sampling(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig6_key_sampling.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("fig6_key_sampling", report)
+    assert report.sections

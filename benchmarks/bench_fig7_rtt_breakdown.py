@@ -1,0 +1,12 @@
+"""Fig. 7 — PPSS exchange round-trip-time breakdown (cluster + PlanetLab)."""
+
+from repro.experiments import bench_scale, fig7_rtt
+
+
+def test_fig7_rtt_breakdown(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig7_rtt.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("fig7_rtt_breakdown", report)
+    assert report.sections

@@ -1,0 +1,12 @@
+"""Fig. 8 — bandwidth distribution vs number of subscribed groups per node."""
+
+from repro.experiments import bench_scale, fig8_group_bandwidth
+
+
+def test_fig8_group_bandwidth(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig8_group_bandwidth.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("fig8_group_bandwidth", report)
+    assert report.sections

@@ -1,0 +1,12 @@
+"""Fig. 9 — routing delays of the private T-Chord DHT."""
+
+from repro.experiments import bench_scale, fig9_tchord
+
+
+def test_fig9_tchord(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: fig9_tchord.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("fig9_tchord", report)
+    assert report.sections

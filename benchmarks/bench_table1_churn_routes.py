@@ -1,0 +1,12 @@
+"""Table I — WCL route availability under churn (X = 0 .. 10 %/min)."""
+
+from repro.experiments import bench_scale, table1_churn
+
+
+def test_table1_churn_routes(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: table1_churn.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("table1_churn_routes", report)
+    assert report.sections

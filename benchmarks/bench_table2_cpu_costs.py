@@ -1,0 +1,12 @@
+"""Table II — CPU time per PPSS cycle (AES vs RSA, N-nodes vs P-nodes)."""
+
+from repro.experiments import bench_scale, table2_cpu
+
+
+def test_table2_cpu_costs(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: table2_cpu.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("table2_cpu_costs", report)
+    assert report.sections

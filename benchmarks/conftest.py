@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each benchmark reproduces one table/figure of the paper by calling the
+corresponding ``repro.experiments`` module once (rounds=1: these are
+simulation campaigns, not microbenchmarks; the recorded time is the
+wall-clock cost of regenerating the result).
+
+The rendered report is printed and also written to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.  Set
+``REPRO_BENCH_SCALE=full`` to run at the paper's population sizes
+(1,000-node cluster / 400-node PlanetLab), ``default`` (0.5x) or ``quick``
+(0.2x) for faster runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_report(capsys):
+    """Returns a callable that prints + persists a rendered report."""
+
+    def _record(name: str, report) -> None:
+        text = report.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _record

@@ -1,0 +1,45 @@
+"""WHISPER: middleware for confidential communication in large-scale networks.
+
+A full Python reproduction of Schiavoni, Riviere & Felber (ICDCS 2011):
+NAT-resilient peer sampling (Nylon), the WHISPER communication layer (onion
+routes without trusted third parties), the private peer sampling service
+(confidential group membership), and the T-Chord application — all running
+on a deterministic discrete-event simulation substrate.
+
+Quick start::
+
+    from repro import World, WorldConfig
+
+    world = World(WorldConfig(seed=1))
+    world.populate(100)
+    world.start_all()
+    world.run(120.0)                      # let the PSS converge
+    alice, bob = world.alive_nodes()[:2]
+    group = alice.create_group("friends")
+    bob.join_group(group.invite(bob.node_id))
+    world.run(120.0)                      # the join completes over WCL
+"""
+
+from .core import (
+    Invitation,
+    PpssConfig,
+    PrivateContact,
+    PrivatePeerSamplingService,
+    WhisperConfig,
+    WhisperNode,
+)
+from .harness import World, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Invitation",
+    "PpssConfig",
+    "PrivateContact",
+    "PrivatePeerSamplingService",
+    "WhisperConfig",
+    "WhisperNode",
+    "World",
+    "WorldConfig",
+    "__version__",
+]

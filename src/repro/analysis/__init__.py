@@ -1,0 +1,17 @@
+"""Offline security analysis over wiretap captures."""
+
+from .anonymity import (
+    OnionFlow,
+    adversary_sweep,
+    carries_trace,
+    exposure,
+    extract_flows,
+)
+
+__all__ = [
+    "OnionFlow",
+    "adversary_sweep",
+    "carries_trace",
+    "exposure",
+    "extract_flows",
+]

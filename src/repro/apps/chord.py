@@ -1,0 +1,140 @@
+"""Chord ring structures and routing logic [24].
+
+Pure data/logic module: identifier space arithmetic, ring neighbour
+selection and finger-table targets.  The gossip-based *construction* of the
+ring lives in :mod:`repro.apps.tchord`; this module provides what any Chord
+implementation needs regardless of how links are maintained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..net.address import NodeId
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "chord_id",
+    "in_interval",
+    "distance_cw",
+    "FingerTable",
+    "RingNeighbours",
+]
+
+ID_BITS = 32
+ID_SPACE = 1 << ID_BITS
+
+
+def chord_id(node_id: NodeId) -> int:
+    """Hash a node identifier onto the ring (SHA-1 in the original paper;
+    SHA-256 truncated here — uniformity is all that matters)."""
+    digest = hashlib.sha256(f"chord:{node_id}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % ID_SPACE
+
+
+def key_id(key: str) -> int:
+    """Hash an application key onto the ring."""
+    digest = hashlib.sha256(f"key:{key}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % ID_SPACE
+
+
+def in_interval(x: int, left: int, right: int, inclusive_right: bool = True) -> bool:
+    """Is ``x`` in the clockwise interval (left, right] on the ring?"""
+    x, left, right = x % ID_SPACE, left % ID_SPACE, right % ID_SPACE
+    if left == right:
+        # The interval covers the whole ring (single-node case).
+        return True if not inclusive_right else True
+    if left < right:
+        return (left < x < right) or (inclusive_right and x == right)
+    return (x > left) or (x < right) or (inclusive_right and x == right)
+
+
+def distance_cw(a: int, b: int) -> int:
+    """Clockwise distance from a to b."""
+    return (b - a) % ID_SPACE
+
+
+@dataclass(frozen=True, slots=True)
+class RingPeer:
+    """A known ring participant (identity + ring position)."""
+
+    node_id: NodeId
+    ring_id: int
+
+
+class RingNeighbours:
+    """Successor/predecessor selection among known candidates."""
+
+    def __init__(self, own_ring_id: int) -> None:
+        self.own = own_ring_id
+
+    def best_successor(self, candidates: list[RingPeer]) -> RingPeer | None:
+        """Closest peer clockwise from us."""
+        others = [c for c in candidates if c.ring_id != self.own]
+        if not others:
+            return None
+        return min(others, key=lambda c: distance_cw(self.own, c.ring_id))
+
+    def best_predecessor(self, candidates: list[RingPeer]) -> RingPeer | None:
+        """Closest peer counterclockwise from us."""
+        others = [c for c in candidates if c.ring_id != self.own]
+        if not others:
+            return None
+        return min(others, key=lambda c: distance_cw(c.ring_id, self.own))
+
+    def successor_list(self, candidates: list[RingPeer], k: int) -> list[RingPeer]:
+        """The k closest peers clockwise (successor redundancy)."""
+        others = [c for c in candidates if c.ring_id != self.own]
+        return sorted(others, key=lambda c: distance_cw(self.own, c.ring_id))[:k]
+
+
+class FingerTable:
+    """Classic power-of-two finger targets with best-match selection."""
+
+    def __init__(self, own_ring_id: int, bits: int = ID_BITS) -> None:
+        self.own = own_ring_id
+        self.bits = bits
+        self.fingers: dict[int, RingPeer] = {}  # finger index -> peer
+
+    def targets(self) -> list[tuple[int, int]]:
+        """(finger index, target ring id) pairs."""
+        return [(i, (self.own + (1 << i)) % ID_SPACE) for i in range(self.bits)]
+
+    def consider(self, peer: RingPeer) -> None:
+        """Adopt ``peer`` for any finger it improves (first peer at or after
+        the finger target, clockwise)."""
+        if peer.ring_id == self.own:
+            return
+        for index, target in self.targets():
+            current = self.fingers.get(index)
+            peer_distance = distance_cw(target, peer.ring_id)
+            if current is None or peer_distance < distance_cw(target, current.ring_id):
+                self.fingers[index] = peer
+
+    def drop(self, node_id: NodeId) -> None:
+        """Remove a failed peer from every finger it occupied."""
+        self.fingers = {
+            i: p for i, p in self.fingers.items() if p.node_id != node_id
+        }
+
+    def closest_preceding(self, key: int) -> RingPeer | None:
+        """Best next hop: the known peer closest before ``key`` clockwise."""
+        best: RingPeer | None = None
+        best_distance = None
+        for peer in self.fingers.values():
+            if peer.ring_id == key:
+                continue
+            if in_interval(peer.ring_id, self.own, key, inclusive_right=False):
+                d = distance_cw(peer.ring_id, key)
+                if best_distance is None or d < best_distance:
+                    best, best_distance = peer, d
+        return best
+
+    def known_peers(self) -> list[RingPeer]:
+        """Deduplicated peers currently referenced by any finger."""
+        unique: dict[NodeId, RingPeer] = {}
+        for peer in self.fingers.values():
+            unique[peer.node_id] = peer
+        return list(unique.values())

@@ -1,0 +1,58 @@
+"""Network size estimation over gossip aggregation [11].
+
+The classic averaging trick: exactly one initiator holds mass 1.0 and every
+other participant 0.0; push-pull averaging converges every node's value to
+1/N, so ``1 / value`` estimates the group size.  Inside WHISPER this runs
+over the PPSS app channel, estimating the size of a *private group* without
+any member ever enumerating the membership — a natural companion to
+membership privacy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.ppss import PrivatePeerSamplingService
+from ..sim.engine import Simulator
+from .aggregation import AggregationProtocol, average_merge
+
+__all__ = ["SizeEstimator"]
+
+
+class SizeEstimator:
+    """One node's participation in a group-size estimation epoch."""
+
+    def __init__(
+        self,
+        ppss: PrivatePeerSamplingService,
+        sim: Simulator,
+        rng: random.Random,
+        is_initiator: bool,
+        cycle_time: float = 20.0,
+        name: str = "sizeest",
+    ) -> None:
+        self.aggregation = AggregationProtocol(
+            name=name,
+            ppss=ppss,
+            sim=sim,
+            rng=rng,
+            initial=1.0 if is_initiator else 0.0,
+            merge=average_merge,
+            cycle_time=cycle_time,
+        )
+
+    def handle_payload(self, payload: dict, reply_to) -> bool:
+        """PPSS app-channel hook; True when the payload was ours."""
+        return self.aggregation.handle_payload(payload, reply_to)
+
+    def stop(self) -> None:
+        """Stop participating in the estimation epoch."""
+        self.aggregation.stop()
+
+    @property
+    def estimate(self) -> float | None:
+        """Current size estimate; None until any mass reached this node."""
+        value = self.aggregation.value
+        if value <= 0.0:
+            return None
+        return 1.0 / value

@@ -1,0 +1,21 @@
+"""Churn injection: SPLAY-style scripts and the driver applying them."""
+
+from .script import (
+    ChurnDriver,
+    ChurnScriptError,
+    ConstChurn,
+    JoinRamp,
+    SetReplacementRatio,
+    StopAt,
+    parse_script,
+)
+
+__all__ = [
+    "ChurnDriver",
+    "ChurnScriptError",
+    "ConstChurn",
+    "JoinRamp",
+    "SetReplacementRatio",
+    "StopAt",
+    "parse_script",
+]

@@ -1,0 +1,215 @@
+"""SPLAY-style churn scripting (Section V-D, Table I).
+
+The paper drives churn with SPLAY's churn module and shows the script::
+
+    from 0s to 30s join 1000
+    at 300s set replacement ratio to 100%
+    from 300s to 1200s const churn X% each 60s
+    at 1200s stop
+
+This module implements a parser for that language and a driver that applies
+it to a :class:`~repro.harness.world.World`: ``join`` ramps spawn nodes
+uniformly over the window, ``const churn P% each Ts`` kills P% of the
+current population every T seconds and (re)spawns ``replacement ratio``
+times as many fresh nodes.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from ..core.node import WhisperNode
+from ..harness.world import World
+from ..net.address import NodeId
+
+__all__ = [
+    "JoinRamp",
+    "SetReplacementRatio",
+    "ConstChurn",
+    "StopAt",
+    "parse_script",
+    "ChurnDriver",
+    "ChurnScriptError",
+]
+
+
+class ChurnScriptError(ValueError):
+    """Malformed churn script line."""
+
+
+@dataclass(frozen=True)
+class JoinRamp:
+    """Spawn ``count`` nodes uniformly over [start, end]."""
+
+    start: float
+    end: float
+    count: int
+
+
+@dataclass(frozen=True)
+class SetReplacementRatio:
+    """Set how many joins replace each kill from ``at`` onwards."""
+
+    at: float
+    ratio: float  # 1.0 = 100%
+
+
+@dataclass(frozen=True)
+class ConstChurn:
+    """Kill ``percent`` of the population every ``interval`` seconds."""
+
+    start: float
+    end: float
+    percent: float  # fraction of population churned per event, e.g. 0.01
+    interval: float
+
+
+@dataclass(frozen=True)
+class StopAt:
+    """Halt all churn activity at ``at``."""
+
+    at: float
+
+
+Directive = Union[JoinRamp, SetReplacementRatio, ConstChurn, StopAt]
+
+_DURATION = r"(\d+(?:\.\d+)?)s"
+_PATTERNS: list[tuple[re.Pattern, Callable[[re.Match], Directive]]] = [
+    (
+        re.compile(rf"^from {_DURATION} to {_DURATION} join (\d+)$"),
+        lambda m: JoinRamp(float(m[1]), float(m[2]), int(m[3])),
+    ),
+    (
+        re.compile(rf"^at {_DURATION} set replacement ratio to (\d+(?:\.\d+)?)%$"),
+        lambda m: SetReplacementRatio(float(m[1]), float(m[2]) / 100.0),
+    ),
+    (
+        re.compile(
+            rf"^from {_DURATION} to {_DURATION} const churn "
+            rf"(\d+(?:\.\d+)?)% each {_DURATION}$"
+        ),
+        lambda m: ConstChurn(float(m[1]), float(m[2]), float(m[3]) / 100.0, float(m[4])),
+    ),
+    (re.compile(rf"^at {_DURATION} stop$"), lambda m: StopAt(float(m[1]))),
+]
+
+
+def parse_script(text: str) -> list[Directive]:
+    """Parse a churn script; raises :class:`ChurnScriptError` on bad lines."""
+    directives: list[Directive] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip().lower()
+        if not line:
+            continue
+        for pattern, build in _PATTERNS:
+            match = pattern.match(line)
+            if match:
+                directives.append(build(match))
+                break
+        else:
+            raise ChurnScriptError(f"cannot parse churn directive: {raw_line!r}")
+    return directives
+
+
+@dataclass
+class ChurnStats:
+    """Totals of what the driver did."""
+
+    joined: int = 0
+    killed: int = 0
+    churn_events: int = 0
+
+
+class ChurnDriver:
+    """Applies a churn script to a world.
+
+    ``on_join`` runs for every spawned node (e.g. to subscribe it to a
+    private group); ``on_kill`` runs just before a node is removed.  Nodes
+    named in ``protected`` (e.g. group leaders or introducers) are never
+    selected for killing, mirroring how the paper keeps enough entry points
+    alive to measure route availability rather than bootstrap failures.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        directives: list[Directive],
+        rng: random.Random | None = None,
+        on_join: Callable[[WhisperNode], None] | None = None,
+        on_kill: Callable[[NodeId], None] | None = None,
+        protected: set[NodeId] | None = None,
+    ) -> None:
+        self.world = world
+        self.directives = list(directives)
+        self._rng = rng if rng is not None else world.registry.stream("churn")
+        self._on_join = on_join
+        self._on_kill = on_kill
+        self.protected: set[NodeId] = set(protected or ())
+        self.replacement_ratio = 1.0
+        self.stopped = False
+        self.stats = ChurnStats()
+        self._schedule_all()
+
+    # ------------------------------------------------------------------
+    def _schedule_all(self) -> None:
+        # Script times are relative to the moment the driver is created, so
+        # "from 0s ..." works no matter how long the world warmed up first.
+        sim = self.world.sim
+        base = sim.now
+        for directive in self.directives:
+            if isinstance(directive, JoinRamp):
+                span = max(directive.end - directive.start, 0.0)
+                for i in range(directive.count):
+                    offset = directive.start + span * (i / max(directive.count, 1))
+                    sim.schedule_at(base + offset, self._join_one)
+            elif isinstance(directive, SetReplacementRatio):
+                sim.schedule_at(
+                    base + directive.at,
+                    lambda ratio=directive.ratio: self._set_ratio(ratio),
+                )
+            elif isinstance(directive, ConstChurn):
+                t = directive.start
+                while t < directive.end:
+                    sim.schedule_at(
+                        base + t,
+                        lambda pct=directive.percent: self._churn_event(pct),
+                    )
+                    t += directive.interval
+            elif isinstance(directive, StopAt):
+                sim.schedule_at(base + directive.at, self._stop)
+
+    def _set_ratio(self, ratio: float) -> None:
+        self.replacement_ratio = ratio
+
+    def _stop(self) -> None:
+        self.stopped = True
+
+    def _join_one(self) -> None:
+        if self.stopped:
+            return
+        node = self.world.spawn_started()
+        self.stats.joined += 1
+        if self._on_join is not None:
+            self._on_join(node)
+
+    def _churn_event(self, percent: float) -> None:
+        if self.stopped:
+            return
+        self.stats.churn_events += 1
+        population = [
+            n for n in self.world.alive_nodes() if n.node_id not in self.protected
+        ]
+        kill_count = round(len(self.world.alive_nodes()) * percent)
+        kill_count = min(kill_count, len(population))
+        victims = self._rng.sample(population, kill_count) if kill_count else []
+        for victim in victims:
+            if self._on_kill is not None:
+                self._on_kill(victim.node_id)
+            self.world.kill_node(victim.node_id)
+            self.stats.killed += 1
+        arrivals = round(kill_count * self.replacement_ratio)
+        for _ in range(arrivals):
+            self._join_one()

@@ -1,0 +1,57 @@
+"""WHISPER core: connection backlog, onion WCL, private groups, PPSS."""
+
+from .backlog import CbEntry, ConnectionBacklog
+from .contact import Gateway, PrivateContact
+from .election import Heartbeat, LeaderElection, Proposal, proposal_value
+from .group import (
+    Accreditation,
+    GroupKeyring,
+    Invitation,
+    Passport,
+    issue_accreditation,
+    issue_passport,
+)
+from .node import WhisperConfig, WhisperNode
+from .onion import HopSpec, NextHop, OnionLayer, OnionPacket, build_onion, peel
+from .ppss import (
+    MemberState,
+    PpssConfig,
+    PpssStats,
+    PrivatePeerSamplingService,
+    PrivateViewEntry,
+)
+from .wcl import AttemptInfo, TraceLog, WclStats, WhisperCommunicationLayer
+
+__all__ = [
+    "Accreditation",
+    "AttemptInfo",
+    "CbEntry",
+    "ConnectionBacklog",
+    "Gateway",
+    "GroupKeyring",
+    "Heartbeat",
+    "HopSpec",
+    "Invitation",
+    "LeaderElection",
+    "MemberState",
+    "NextHop",
+    "OnionLayer",
+    "OnionPacket",
+    "Passport",
+    "PpssConfig",
+    "PpssStats",
+    "PrivateContact",
+    "PrivatePeerSamplingService",
+    "PrivateViewEntry",
+    "Proposal",
+    "TraceLog",
+    "WclStats",
+    "WhisperCommunicationLayer",
+    "WhisperConfig",
+    "WhisperNode",
+    "build_onion",
+    "issue_accreditation",
+    "issue_passport",
+    "peel",
+    "proposal_value",
+]

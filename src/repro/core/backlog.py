@@ -1,0 +1,199 @@
+"""The connection backlog (CB) of Section III-A.
+
+A FIFO of the nodes this node recently completed gossip exchanges with —
+i.e. nodes for which a NAT-traversed route exists *in both directions* and
+whose association rules are still fresh.  Capacity is 2c (twice the PSS view
+size): with one initiated and on average one received exchange per 10 s
+cycle, an entry lives at most ~100 s in the CB, well under the minimal NAT
+lease of 5 minutes.
+
+Invariant maintained: the CB always holds at least Π P-nodes.  When an
+insertion would break it, P-nodes from the PSS view are probed (the paper's
+"empty message" that opens a path and exchanges keys) and inserted until the
+invariant is restored.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..crypto.provider import PublicKey
+from ..nat.traversal import ConnectionManager, NodeDescriptor
+from ..net.address import NodeId
+from ..net.message import sizes
+from ..pss.gossip import PeerSamplingService
+
+__all__ = ["CbEntry", "ConnectionBacklog"]
+
+
+@dataclass(frozen=True, slots=True)
+class CbEntry:
+    """One backlog slot: a recently-exchanged partner and its key."""
+
+    descriptor: NodeDescriptor
+    key: PublicKey
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.descriptor.node_id
+
+    @property
+    def is_public(self) -> bool:
+        return self.descriptor.is_public
+
+
+class ConnectionBacklog:
+    """FIFO of recently-exchanged partners with the Π P-node invariant."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        cm: ConnectionManager,
+        pss: PeerSamplingService,
+        rng: random.Random,
+        pi: int = 3,
+        capacity: int | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.cm = cm
+        self.pss = pss
+        self._rng = rng
+        self.pi = pi
+        self.capacity = capacity if capacity is not None else 2 * pss.config.view_size
+        if self.capacity < max(1, pi):
+            raise ValueError(
+                f"CB capacity {self.capacity} cannot honour pi={pi}"
+            )
+        # Head = most recent.  OrderedDict keeps FIFO order with O(1) moves.
+        self._entries: OrderedDict[NodeId, CbEntry] = OrderedDict()
+        self._probing: set[NodeId] = set()
+        self.stats_probes_sent = 0
+        pss.add_exchange_listener(self._on_gossip_exchange)
+
+    # ------------------------------------------------------------------
+    # content accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._entries
+
+    def entries(self) -> list[CbEntry]:
+        """Most recent first."""
+        return list(reversed(self._entries.values()))
+
+    def public_entries(self) -> list[CbEntry]:
+        """P-node entries, most recent first."""
+        return [e for e in self.entries() if e.is_public]
+
+    def count_public(self) -> int:
+        """Number of P-nodes currently in the backlog."""
+        return sum(1 for e in self._entries.values() if e.is_public)
+
+    def get(self, node_id: NodeId) -> CbEntry | None:
+        """The entry for ``node_id`` if present."""
+        return self._entries.get(node_id)
+
+    def gateways_for_self(self) -> list[CbEntry]:
+        """The Π P-nodes advertised as next-to-last hops towards this node.
+
+        These are P-nodes from our CB: they completed a gossip exchange (or a
+        probe) with us recently, so they hold an open NAT-traversed session
+        towards us and can act as hop B of an inbound WCL path.
+        """
+        return self.public_entries()[: self.pi]
+
+    def first_mix_candidates(
+        self, exclude: set[NodeId] | None = None
+    ) -> list[CbEntry]:
+        """CB entries usable as hop A, freshest first."""
+        exclude = exclude or set()
+        return [e for e in self.entries() if e.node_id not in exclude]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _on_gossip_exchange(
+        self, peer: NodeDescriptor, key: PublicKey | None, initiated: bool
+    ) -> None:
+        if key is None:
+            return  # cannot be used as a mix without its public key
+        self.insert(peer, key)
+
+    def insert(self, descriptor: NodeDescriptor, key: PublicKey) -> None:
+        """Insert at the head; evict at the tail; restore the Π invariant."""
+        node_id = descriptor.node_id
+        if node_id == self.node_id:
+            return
+        if node_id in self._entries:
+            del self._entries[node_id]
+        self._entries[node_id] = CbEntry(descriptor=descriptor, key=key)
+        while len(self._entries) > self.capacity:
+            self._evict_tail()
+        self._maintain_public_invariant()
+
+    def remove(self, node_id: NodeId) -> None:
+        """Drop a failed node (e.g. a mix that never forwarded)."""
+        self._entries.pop(node_id, None)
+        self._maintain_public_invariant()
+
+    def _evict_tail(self) -> None:
+        oldest = next(iter(self._entries))
+        del self._entries[oldest]
+
+    # ------------------------------------------------------------------
+    # the Π P-node invariant
+    # ------------------------------------------------------------------
+    def _maintain_public_invariant(self) -> None:
+        deficit = self.pi - self.count_public() - len(self._probing)
+        if deficit <= 0:
+            return
+        candidates = [
+            entry
+            for entry in self.pss.view.public_entries()
+            if entry.node_id not in self._entries
+            and entry.node_id not in self._probing
+        ]
+        self._rng.shuffle(candidates)
+        for entry in candidates[:deficit]:
+            self._probe(entry.descriptor)
+
+    def _probe(self, descriptor: NodeDescriptor) -> None:
+        """The paper's "empty message": open a path and exchange keys."""
+        target = descriptor.node_id
+        self._probing.add(target)
+        self.stats_probes_sent += 1
+
+        def on_ready() -> None:
+            body = {"sender": self.cm.descriptor()}
+            self.cm.send_via_session(
+                target, "wcl.cb_probe", body,
+                sizes.connect_control + sizes.public_key, "wcl.cb",
+            )
+
+        def on_fail(reason: str) -> None:
+            self._probing.discard(target)
+
+        self.cm.ensure_session(descriptor, on_ready, on_fail)
+
+    # ------------------------------------------------------------------
+    # probe protocol handlers (wired by the WCL dispatcher)
+    # ------------------------------------------------------------------
+    def on_probe(self, peer: NodeId, body: dict, own_key: PublicKey) -> None:
+        """Probe received: ack with our key (the probing side needs it)."""
+        ack = {"sender": self.cm.descriptor(), "key": own_key}
+        self.cm.send_via_session(
+            peer, "wcl.cb_probe_ack", ack,
+            sizes.connect_control + sizes.public_key, "wcl.cb",
+        )
+
+    def on_probe_ack(self, peer: NodeId, body: dict) -> None:
+        """Probe answered: the P-node (with its key) joins the backlog."""
+        if peer not in self._probing:
+            return
+        self._probing.discard(peer)
+        self.insert(body["sender"], body["key"])

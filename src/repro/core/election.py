@@ -1,0 +1,167 @@
+"""Gossip-based leader election (Section IV-A).
+
+Leaders emit periodic heartbeats piggybacked on PPSS exchanges.  When a
+member stops seeing fresh heartbeats for ``election_timeout``, it proposes a
+value derived from the hash of its identifier and the group runs a
+max-value gossip aggregation [8]: every exchange carries the highest
+proposal seen, and after the aggregate stops changing for a few cycles each
+node knows the winner.  The winner becomes leader, generates a new group
+keypair and propagates the new public key signed by its member identity;
+the new key joins the key *history* used to verify and issue passports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..net.address import NodeId
+
+__all__ = ["Heartbeat", "Proposal", "LeaderElection", "proposal_value"]
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """A leader liveness beacon, ordered by (epoch, seq)."""
+
+    leader_id: NodeId
+    epoch: int  # key-history length when emitted
+    seq: int
+
+    def fresher_than(self, other: "Heartbeat | None") -> bool:
+        if other is None:
+            return True
+        return (self.epoch, self.seq) > (other.epoch, other.seq)
+
+
+@dataclass(frozen=True, slots=True)
+class Proposal:
+    """A candidate in the max-aggregation: (value, node) — value wins ties by id."""
+
+    value: int
+    node_id: NodeId
+    epoch: int
+
+    def beats(self, other: "Proposal | None") -> bool:
+        if other is None:
+            return True
+        return (self.value, self.node_id) > (other.value, other.node_id)
+
+
+def proposal_value(group: str, node_id: NodeId, epoch: int) -> int:
+    """Deterministic, verifiable proposal: hash of the node's identifier."""
+    digest = hashlib.sha256(f"{group}:{node_id}:{epoch}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class LeaderElection:
+    """Per-group election state machine, driven by the PPSS cycle.
+
+    The PPSS calls :meth:`piggyback` when building a message and
+    :meth:`absorb` for every (passport-verified) message received; when the
+    aggregation converges on this node's own proposal, ``on_elected`` fires
+    so the PPSS can roll the group key.
+    """
+
+    def __init__(
+        self,
+        group: str,
+        node_id: NodeId,
+        election_timeout: float,
+        settle_cycles: int,
+        on_elected: Callable[[int], None],
+    ) -> None:
+        self.group = group
+        self.node_id = node_id
+        self.election_timeout = election_timeout
+        self.settle_cycles = settle_cycles
+        self._on_elected = on_elected
+        self.last_heartbeat: Heartbeat | None = None
+        self.last_heartbeat_time: float | None = None
+        self.active = False
+        self.best: Proposal | None = None
+        self._stable_cycles = 0
+        self.elections_started = 0
+        self.elections_won = 0
+
+    # ------------------------------------------------------------------
+    def observe_heartbeat(self, heartbeat: Heartbeat, now: float) -> None:
+        """Absorb a (piggybacked) leader heartbeat; cancels stale elections."""
+        if heartbeat.fresher_than(self.last_heartbeat):
+            self.last_heartbeat = heartbeat
+            self.last_heartbeat_time = now
+            # Any fresh heartbeat ends an in-progress election.
+            if self.active and heartbeat.epoch >= self._current_epoch():
+                self._reset_election()
+
+    def note_alive(self, now: float) -> None:
+        """Initial grace: treat group join time as a heartbeat observation."""
+        if self.last_heartbeat_time is None:
+            self.last_heartbeat_time = now
+
+    def _current_epoch(self) -> int:
+        return self.best.epoch if self.best is not None else 0
+
+    # ------------------------------------------------------------------
+    def on_cycle(self, now: float, epoch: int) -> None:
+        """Called once per PPSS cycle: detect leader loss, track convergence."""
+        if not self.active:
+            if (
+                self.last_heartbeat_time is not None
+                and now - self.last_heartbeat_time > self.election_timeout
+            ):
+                self._start_election(epoch)
+            return
+        self._stable_cycles += 1
+        if (
+            self._stable_cycles >= self.settle_cycles
+            and self.best is not None
+            and self.best.node_id == self.node_id
+        ):
+            self.elections_won += 1
+            epoch_won = self.best.epoch
+            self._reset_election()
+            self._on_elected(epoch_won)
+
+    def _start_election(self, epoch: int) -> None:
+        self.active = True
+        self.elections_started += 1
+        self._stable_cycles = 0
+        own = Proposal(
+            value=proposal_value(self.group, self.node_id, epoch),
+            node_id=self.node_id,
+            epoch=epoch,
+        )
+        if own.beats(self.best) or (self.best and self.best.epoch < epoch):
+            self.best = own
+
+    def _reset_election(self) -> None:
+        self.active = False
+        self.best = None
+        self._stable_cycles = 0
+
+    # ------------------------------------------------------------------
+    # piggyback protocol
+    # ------------------------------------------------------------------
+    def piggyback(self) -> dict[str, Any] | None:
+        """Election state to attach to outgoing PPSS messages (None if idle)."""
+        if not self.active or self.best is None:
+            return None
+        return {"proposal": self.best}
+
+    def absorb(self, data: dict[str, Any] | None, now: float, epoch: int) -> None:
+        """Merge a peer's election piggyback (max-value aggregation step)."""
+        if not data:
+            return
+        proposal: Proposal = data["proposal"]
+        # Verify the proposal value actually derives from the claimed node:
+        # nodes follow the protocol in our model, but the check is cheap.
+        if proposal.value != proposal_value(self.group, proposal.node_id, proposal.epoch):
+            return
+        if not self.active:
+            # A neighbour noticed leader loss before us: join the election.
+            self._start_election(epoch)
+        if proposal.beats(self.best):
+            self.best = proposal
+            self._stable_cycles = 0

@@ -1,0 +1,158 @@
+"""Onion path construction and peeling (Fig. 2 of the paper).
+
+A WCL message from S to D travels S -> A -> B -> D where A and B are mixes.
+S encrypts the pair ``(k, ⊥)`` with D's public key, then wraps layers for B
+and A, each holding the identity of the next hop and the remaining onion.
+The content itself is encrypted once with the fresh symmetric key ``k``.
+
+Because a mix cannot tell whether the *next-to-next* hop is ⊥, neither A nor
+B learns whether they neighbour the source or the destination — that is the
+relationship-anonymity argument of Section III-A, and the property the
+security tests assert.
+
+``trace_id`` is simulation instrumentation only: it lets the measurement
+harness correlate per-hop timings for Fig. 7 without giving protocol code
+any extra information (nothing in the protocol reads it; anonymity tests
+deliberately ignore it, as the real wire format would not carry it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from ..crypto.provider import (
+    CryptoProvider,
+    EncryptedPayload,
+    KeyPair,
+    PublicKey,
+    Sealed,
+)
+from ..net.address import Endpoint, NodeId
+from ..net.message import sizes
+
+__all__ = ["NextHop", "OnionLayer", "OnionPacket", "HopSpec", "build_onion", "peel"]
+
+_trace_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class NextHop:
+    """Forwarding instruction found inside a decrypted layer."""
+
+    node_id: NodeId
+    # Set when the hop must be contacted directly at a public endpoint
+    # (the next-to-last hop B is always a P-node; a public destination D
+    # also carries its endpoint).  None means "use your open session".
+    public_endpoint: Endpoint | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class OnionLayer:
+    """Plaintext of one onion layer.
+
+    Exactly one of the two shapes exists on the wire: intermediate layers
+    have ``next_hop`` + ``inner``; the destination layer has ``next_hop is
+    None`` and carries the symmetric content key ``k``.
+    """
+
+    next_hop: NextHop | None
+    inner: Sealed | None
+    key: bytes | None
+
+
+@dataclass(frozen=True, slots=True)
+class OnionPacket:
+    """What actually travels on each hop: header onion + encrypted body."""
+
+    header: Sealed
+    body: EncryptedPayload
+    trace_id: int  # measurement-only; see module docstring
+
+    @property
+    def wire_size(self) -> int:
+        return self.header.size_bytes + self.body.size_bytes
+
+    def with_header(self, header: Sealed) -> "OnionPacket":
+        return replace(self, header=header)
+
+
+@dataclass(frozen=True, slots=True)
+class HopSpec:
+    """One hop as known to the source when preparing the path."""
+
+    node_id: NodeId
+    public_key: PublicKey
+    public_endpoint: Endpoint | None = None
+
+
+def build_onion(
+    provider: CryptoProvider,
+    path: list[HopSpec],
+    content: object,
+    content_size: int,
+    *,
+    node: NodeId = -1,
+    context: str = "",
+) -> OnionPacket:
+    """Construct the onion packet for ``path`` = [A, B, D] (mixes first).
+
+    The paper fixes paths at four nodes (S, two mixes, D); the function
+    accepts any number >= 1 of hops so the colluding-attacker extension
+    (footnote 2: f mixes tolerate f-1 colluders) works unchanged.
+    """
+    if not path:
+        raise ValueError("onion path needs at least the destination hop")
+    key = provider.new_symmetric_key()
+    destination = path[-1]
+    layer = OnionLayer(next_hop=None, inner=None, key=key)
+    sealed = provider.seal(destination.public_key, layer, node=node, context=context)
+    # Wrap layers from the next-to-last hop backwards (Fig. 2).
+    for hop_index in range(len(path) - 2, -1, -1):
+        hop = path[hop_index]
+        next_spec = path[hop_index + 1]
+        layer = OnionLayer(
+            next_hop=NextHop(
+                node_id=next_spec.node_id,
+                public_endpoint=next_spec.public_endpoint,
+            ),
+            inner=sealed,
+            key=None,
+        )
+        sealed = provider.seal(hop.public_key, layer, node=node, context=context)
+    # Account for the per-layer wire overhead the real system would have.
+    sealed = replace(
+        sealed, size_bytes=len(path) * sizes.onion_layer_overhead
+    )
+    body = provider.encrypt_payload(
+        key, content, content_size, node=node, context=context
+    )
+    return OnionPacket(header=sealed, body=body, trace_id=next(_trace_counter))
+
+
+def peel(
+    provider: CryptoProvider,
+    keypair: KeyPair,
+    packet: OnionPacket,
+    *,
+    node: NodeId = -1,
+    context: str = "",
+) -> tuple[OnionLayer, OnionPacket | None]:
+    """Decrypt our layer.
+
+    Returns ``(layer, forward_packet)``; ``forward_packet`` is None when we
+    are the destination.  Raises CryptoError when the header was not
+    prepared for our key (mis-routed packet).
+    """
+    layer: OnionLayer = provider.open(keypair, packet.header, node=node, context=context)
+    if layer.next_hop is None:
+        return layer, None
+    assert layer.inner is not None
+    shrunk = replace(
+        layer.inner,
+        size_bytes=max(
+            sizes.onion_layer_overhead,
+            packet.header.size_bytes - sizes.onion_layer_overhead,
+        ),
+    )
+    return layer, packet.with_header(shrunk)

@@ -1,0 +1,733 @@
+"""PPSS: the private peer sampling service (Section IV).
+
+Per-group gossip peer sampling executed entirely over WCL confidential
+routes.  A node runs one PPSS instance per private group it belongs to;
+instances share the node's WCL/CB/PSS stack but keep membership state
+strictly separate, so a node never discloses one group's membership to
+another group's members.
+
+The instance moves through three states:
+
+- ``LEADER`` — created the group (holds the group private key);
+- ``JOINING`` — redeeming an invitation: periodically sends the signed
+  accreditation to the entry-point leader over a WCL path until the
+  welcome (passport + group key + seed view) arrives;
+- ``MEMBER`` — gossiping private views every cycle (1 minute in the paper).
+
+Every message carries the sender's passport; messages with invalid
+passports are ignored silently.  View exchanges implement the retry scheme
+of Table I: end-to-end response timeouts trigger alternative onion paths
+(different mix pairs); after ``max_attempts`` the partner is declared
+failed and evicted from the private view.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from ..crypto.provider import CryptoProvider
+from ..net.address import NodeId
+from ..net.message import sizes
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask, Timer
+from .backlog import ConnectionBacklog
+from .contact import Gateway, PrivateContact
+from .election import Heartbeat, LeaderElection
+from .group import (
+    GroupKeyring,
+    Invitation,
+    Passport,
+    issue_accreditation,
+    issue_passport,
+)
+from .wcl import WhisperCommunicationLayer
+
+__all__ = [
+    "MemberState",
+    "PpssConfig",
+    "PpssStats",
+    "PrivateViewEntry",
+    "PrivatePeerSamplingService",
+]
+
+_xid_counter = itertools.count(1)
+
+
+class MemberState(Enum):
+    """Lifecycle of one node's membership in one group."""
+
+    JOINING = "joining"
+    MEMBER = "member"
+    LEFT = "left"
+
+
+@dataclass(frozen=True)
+class PpssConfig:
+    """Defaults follow the paper: 1-minute cycles, 5 entries per exchange,
+    Π retries before declaring a destination failed."""
+
+    # Small views keep gateway information fresh: with 5-entry views fully
+    # shuffled every minute, the Π P-nodes attached to an entry are rarely
+    # more than a couple of cycles old — which is what makes first-attempt
+    # route construction succeed at the paper's Table I rates.
+    view_size: int = 5
+    cycle_time: float = 60.0
+    shuffle_size: int = 5  # entries per exchange, including our own
+    response_timeout: float = 8.0
+    max_attempts: int = 4  # first try + Π = 3 retries
+    join_retry_every: float = 15.0
+    heartbeat_enabled: bool = True
+    election_timeout: float = 300.0  # 5 cycles without a heartbeat
+    election_settle_cycles: int = 3
+    pcp_refresh_every: float = 120.0
+
+
+@dataclass
+class PpssStats:
+    """Counters for one PPSS instance (drives Table I classification)."""
+
+    cycles: int = 0
+    exchanges_started: int = 0
+    exchanges_completed: int = 0
+    first_attempt_success: int = 0
+    alt_success: int = 0  # completed after >= 1 retry
+    alt_failed: int = 0  # alternatives existed but all timed out
+    no_alt: int = 0  # no alternative mix pair available
+    partners_evicted: int = 0
+    responses_served: int = 0
+    passport_rejections: int = 0
+    join_attempts: int = 0
+    app_sent: int = 0
+    app_received: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PrivateViewEntry:
+    """One private-view slot: a member contact and its gossip age."""
+
+    contact: PrivateContact
+    age: int
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.contact.node_id
+
+    def aged(self) -> "PrivateViewEntry":
+        return PrivateViewEntry(contact=self.contact, age=self.age + 1)
+
+
+@dataclass
+class _PendingExchange:
+    xid: int
+    partner: PrivateContact
+    tried: set[tuple[NodeId, NodeId]] = field(default_factory=set)
+    attempts: int = 0
+    timer: Timer | None = None
+    started_at: float = 0.0
+
+
+class PrivatePeerSamplingService:
+    """One node's membership in one private group (Fig. 1's PPSS layer)."""
+
+    def __init__(
+        self,
+        group: str,
+        node_id: NodeId,
+        wcl: WhisperCommunicationLayer,
+        backlog: ConnectionBacklog,
+        provider: CryptoProvider,
+        sim: Simulator,
+        rng: random.Random,
+        config: PpssConfig | None = None,
+    ) -> None:
+        self.group = group
+        self.node_id = node_id
+        self.wcl = wcl
+        self.backlog = backlog
+        self.provider = provider
+        self._sim = sim
+        self._rng = rng
+        self.config = config if config is not None else PpssConfig()
+        self.state = MemberState.JOINING
+        self.keyring = GroupKeyring(group=group)
+        self.passport: Passport | None = None
+        self.stats = PpssStats()
+        # private view: node id -> entry, insertion-ordered (deterministic)
+        self._view: dict[NodeId, PrivateViewEntry] = {}
+        self._pending: dict[int, _PendingExchange] = {}
+        self._task: PeriodicTask | None = None
+        self._join_task: PeriodicTask | None = None
+        self._invitation: Invitation | None = None
+        self._authorized: set[NodeId] = set()
+        self._heartbeat_seq = 0
+        self.election = LeaderElection(
+            group=group,
+            node_id=node_id,
+            election_timeout=self.config.election_timeout,
+            settle_cycles=self.config.election_settle_cycles,
+            on_elected=self._become_elected_leader,
+        )
+        self._new_key_announcement: dict[str, Any] | None = None
+        # persistent connection pool (Section IV-C)
+        self._pcp: dict[NodeId, PrivateContact] = {}
+        self._pcp_task: PeriodicTask | None = None
+        self._app_handler: Callable[[Any, PrivateContact | None], None] | None = None
+        # Hook for experiments, called once per finished exchange with
+        # (outcome, attempts, partner_id, duration_seconds); outcome is
+        # one of "success" | "alt" | "alt_failed" | "no_alt".
+        self.exchange_outcome_hook: (
+            Callable[[str, int, NodeId, float], None] | None
+        ) = None
+
+    # ==================================================================
+    # lifecycle: create / join / leave
+    # ==================================================================
+    def create(self) -> None:
+        """Become the founding leader of the group."""
+        keypair = self.provider.generate_keypair()
+        self.keyring.become_leader(keypair)
+        self.passport = issue_passport(
+            self.provider, self.keyring, self.node_id, node=self.node_id
+        )
+        self._become_member()
+
+    def invite(self, invitee: NodeId | None = None, ttl: float = 3600.0) -> Invitation:
+        """Leader operation: mint an invitation with ourselves as entry point."""
+        accreditation = issue_accreditation(
+            self.provider, self.keyring, invitee,
+            expires_at=self._sim.now + ttl, node=self.node_id,
+        )
+        return Invitation(
+            group=self.group, accreditation=accreditation,
+            entry_point=self.self_contact(),
+        )
+
+    def authorize_join(self, node_id: NodeId) -> None:
+        """The Fig. 1 ``authorizeJoin`` API: pre-approve a joiner by id
+        (an alternative to accreditation-based admission)."""
+        self._authorized.add(node_id)
+
+    def join(self, invitation: Invitation) -> None:
+        """Redeem an invitation: contact the entry-point leader over WCL."""
+        if invitation.group != self.group:
+            raise ValueError(
+                f"invitation is for {invitation.group!r}, not {self.group!r}"
+            )
+        self._invitation = invitation
+        self.state = MemberState.JOINING
+        self._join_task = PeriodicTask(
+            self._sim, self.config.join_retry_every, self._send_join,
+            initial_delay=self._rng.uniform(0.5, 3.0),
+        )
+
+    def leave(self) -> None:
+        """Stop all activity (the node departs or abandons the group)."""
+        self.state = MemberState.LEFT
+        for task in (self._task, self._join_task, self._pcp_task):
+            if task is not None:
+                task.stop()
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+
+    def _become_member(self) -> None:
+        if self._join_task is not None:
+            self._join_task.stop()
+            self._join_task = None
+        self.state = MemberState.MEMBER
+        self.election.note_alive(self._sim.now)
+        phase = self._rng.uniform(0, self.config.cycle_time)
+        self._task = PeriodicTask(
+            self._sim, self.config.cycle_time, self._cycle, initial_delay=phase
+        )
+        self._pcp_task = PeriodicTask(
+            self._sim, self.config.pcp_refresh_every, self._refresh_pcp,
+            initial_delay=self._rng.uniform(0, self.config.pcp_refresh_every),
+        )
+
+    # ==================================================================
+    # public sampling API (Fig. 1)
+    # ==================================================================
+    def get_peer(self) -> PrivateContact | None:
+        """A random live member from the private view."""
+        if not self._view:
+            return None
+        entry = self._rng.choice(list(self._view.values()))
+        return entry.contact
+
+    def view_contacts(self) -> list[PrivateContact]:
+        """All member contacts currently in the private view."""
+        return [entry.contact for entry in self._view.values()]
+
+    def view_size(self) -> int:
+        """Number of members currently in the private view."""
+        return len(self._view)
+
+    def make_persistent(self, node_id: NodeId) -> bool:
+        """Pin a member into the persistent connection pool (Section IV-C)."""
+        entry = self._view.get(node_id)
+        if entry is None and node_id not in self._pcp:
+            return False
+        if entry is not None:
+            self._pcp[node_id] = entry.contact
+        return True
+
+    def pin_contact(self, contact: PrivateContact) -> None:
+        """Like :meth:`make_persistent`, for a contact learned outside the
+        private view (e.g. from a T-Man exchange)."""
+        self._pcp[contact.node_id] = contact
+
+    def drop_persistent(self, node_id: NodeId) -> None:
+        """Unpin a member from the persistent connection pool."""
+        self._pcp.pop(node_id, None)
+
+    def persistent_contact(self, node_id: NodeId) -> PrivateContact | None:
+        """The (refreshed) contact of a pinned member, if pinned."""
+        return self._pcp.get(node_id)
+
+    def persistent_ids(self) -> list[NodeId]:
+        """Members currently pinned in the persistent connection pool."""
+        return list(self._pcp.keys())
+
+    def self_contact(self) -> PrivateContact:
+        """Our own advertisement: identity, WCL key, Π gateway P-nodes."""
+        gateways: tuple[Gateway, ...] = ()
+        descriptor = self.wcl.cm.descriptor()
+        if not descriptor.is_public:
+            gateways = tuple(
+                Gateway(descriptor=e.descriptor, key=e.key)
+                for e in self.backlog.gateways_for_self()
+            )
+        return PrivateContact(
+            descriptor=descriptor, key=self.wcl.public_key, gateways=gateways
+        )
+
+    # ==================================================================
+    # app-layer transport for protocols inside the group
+    # ==================================================================
+    def set_app_handler(
+        self, handler: Callable[[Any, PrivateContact | None], None]
+    ) -> None:
+        """Applications (e.g. T-Chord) receive their payloads here."""
+        self._app_handler = handler
+
+    def send_app(
+        self,
+        contact: PrivateContact,
+        payload: Any,
+        size: int,
+        include_self_contact: bool = True,
+    ) -> bool:
+        """Send an application payload to a member over a WCL path.
+
+        ``include_self_contact`` ships our own contact so the receiver can
+        reply with a single WCL path (the T-Chord query pattern of
+        Section V-G)."""
+        if self.passport is None:
+            return False
+        body = {
+            "type": "ppss.app",
+            "group": self.group,
+            "sender_id": self.node_id,
+            "passport": self.passport,
+            "payload": payload,
+            "reply_to": self.self_contact() if include_self_contact else None,
+        }
+        wire = size + sizes.passport + (
+            self.self_contact().wire_size() if include_self_contact else 0
+        )
+        attempt = self.wcl.send_to(contact, body, wire, context="ppss.app")
+        if attempt is not None:
+            self.stats.app_sent += 1
+            return True
+        return False
+
+    # ==================================================================
+    # active gossip thread
+    # ==================================================================
+    def _cycle(self) -> None:
+        if self.state is not MemberState.MEMBER:
+            return
+        self.stats.cycles += 1
+        self._age_view()
+        if self.config.heartbeat_enabled:
+            self.election.on_cycle(self._sim.now, epoch=len(self.keyring.history))
+        partner = self._oldest_entry()
+        if partner is None:
+            return
+        self._start_exchange(partner.contact)
+
+    def _age_view(self) -> None:
+        self._view = {nid: entry.aged() for nid, entry in self._view.items()}
+
+    def _oldest_entry(self) -> PrivateViewEntry | None:
+        if not self._view:
+            return None
+        return max(self._view.values(), key=lambda e: (e.age, e.node_id))
+
+    def _start_exchange(self, partner: PrivateContact) -> None:
+        self.stats.exchanges_started += 1
+        pending = _PendingExchange(
+            xid=next(_xid_counter), partner=partner, started_at=self._sim.now
+        )
+        self._pending[pending.xid] = pending
+        self._attempt_exchange(pending)
+
+    def _attempt_exchange(self, pending: _PendingExchange) -> None:
+        body = self._exchange_body("ppss.request", pending.xid)
+        attempt = self.wcl.send_to(
+            pending.partner, body, self._body_size(body),
+            exclude=pending.tried, context="ppss.request",
+        )
+        if attempt is None:
+            outcome = "no_alt" if pending.attempts <= 1 else "alt_failed"
+            self._finish_exchange(pending, success=False, outcome=outcome)
+            return
+        pending.attempts += 1
+        pending.tried.add((attempt.first_mix, attempt.second_mix))
+        if pending.timer is None:
+            pending.timer = Timer(
+                self._sim, lambda: self._exchange_timeout(pending.xid)
+            )
+        pending.timer.start(self.config.response_timeout)
+
+    def _exchange_timeout(self, xid: int) -> None:
+        pending = self._pending.get(xid)
+        if pending is None:
+            return
+        if pending.attempts >= self.config.max_attempts:
+            self._finish_exchange(pending, success=False, outcome="alt_failed")
+            return
+        self._attempt_exchange(pending)
+
+    def _finish_exchange(
+        self, pending: _PendingExchange, success: bool, outcome: str
+    ) -> None:
+        self._pending.pop(pending.xid, None)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if success:
+            self.stats.exchanges_completed += 1
+            if pending.attempts == 1:
+                self.stats.first_attempt_success += 1
+                outcome = "success"
+            else:
+                self.stats.alt_success += 1
+                outcome = "alt"
+        else:
+            if outcome == "no_alt":
+                self.stats.no_alt += 1
+            else:
+                self.stats.alt_failed += 1
+            # The paper: failing after Π retries is treated as a failure of
+            # the destination, which is evicted from the private view.
+            self.stats.partners_evicted += 1
+            self._view.pop(pending.partner.node_id, None)
+            self._pcp.pop(pending.partner.node_id, None)
+        if self.exchange_outcome_hook is not None:
+            self.exchange_outcome_hook(
+                outcome, pending.attempts, pending.partner.node_id,
+                self._sim.now - pending.started_at,
+            )
+
+    # ==================================================================
+    # message construction
+    # ==================================================================
+    def _exchange_body(self, msg_type: str, xid: int) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "type": msg_type,
+            "group": self.group,
+            "xid": xid,
+            "sender": self.self_contact(),
+            "passport": self.passport,
+            "buffer": self._build_buffer(),
+            "hb": self._heartbeat_piggyback(),
+            "election": self.election.piggyback(),
+            "new_key": self._new_key_announcement,
+        }
+        return body
+
+    def _build_buffer(self) -> list[PrivateViewEntry]:
+        own = PrivateViewEntry(contact=self.self_contact(), age=0)
+        entries = list(self._view.values())
+        k = min(self.config.shuffle_size - 1, len(entries))
+        sample = self._rng.sample(entries, k) if k > 0 else []
+        return [own] + sample
+
+    def _body_size(self, body: dict[str, Any]) -> int:
+        entries: list[PrivateViewEntry] = body["buffer"]
+        size = sizes.gossip_header + sizes.passport
+        size += sum(entry.contact.wire_size() for entry in entries)
+        return size
+
+    def _heartbeat_piggyback(self) -> Heartbeat | None:
+        if not self.config.heartbeat_enabled:
+            return None
+        if self.keyring.is_leader:
+            self._heartbeat_seq += 1
+            return Heartbeat(
+                leader_id=self.node_id,
+                epoch=len(self.keyring.history),
+                seq=self._heartbeat_seq,
+            )
+        return self.election.last_heartbeat
+
+    # ==================================================================
+    # inbound dispatch (wired from the node's WCL upcall)
+    # ==================================================================
+    def handle_message(self, body: dict[str, Any], size: int) -> None:
+        """Entry point for every WCL-delivered content of this group."""
+        msg_type = body.get("type")
+        if msg_type == "group.join":
+            self._on_join_request(body)
+            return
+        if msg_type == "group.welcome":
+            self._on_welcome(body)
+            return
+        # Everything else requires a valid passport.
+        if not self._passport_ok(body):
+            self.stats.passport_rejections += 1
+            return
+        self._absorb_piggybacks(body)
+        if msg_type == "ppss.request":
+            self._on_request(body)
+        elif msg_type == "ppss.response":
+            self._on_response(body)
+        elif msg_type == "ppss.app":
+            self._on_app(body)
+        elif msg_type == "ppss.pcp_refresh":
+            self._on_pcp_refresh(body)
+        elif msg_type == "ppss.pcp_ack":
+            self._on_pcp_ack(body)
+
+    def _passport_ok(self, body: dict[str, Any]) -> bool:
+        passport = body.get("passport")
+        if passport is None or self.state is MemberState.JOINING:
+            return False
+        sender = body.get("sender")
+        sender_id = sender.node_id if sender is not None else body.get("sender_id")
+        if sender_id is None:
+            return False
+        return self.keyring.verify_passport(
+            self.provider, passport, sender_id, node=self.node_id
+        )
+
+    def _absorb_piggybacks(self, body: dict[str, Any]) -> None:
+        heartbeat = body.get("hb")
+        if heartbeat is not None:
+            self.election.observe_heartbeat(heartbeat, self._sim.now)
+        self.election.absorb(
+            body.get("election"), self._sim.now, epoch=len(self.keyring.history)
+        )
+        announcement = body.get("new_key")
+        if announcement is not None:
+            self._on_new_key(announcement)
+
+    # -- view exchanges -------------------------------------------------
+    def _on_request(self, body: dict[str, Any]) -> None:
+        self.stats.responses_served += 1
+        sender: PrivateContact = body["sender"]
+        response = self._exchange_body("ppss.response", body["xid"])
+        self._merge(body["buffer"], sender)
+        self.wcl.send_to(
+            sender, response, self._body_size(response), context="ppss.response"
+        )
+
+    def _on_response(self, body: dict[str, Any]) -> None:
+        pending = self._pending.get(body["xid"])
+        sender: PrivateContact = body["sender"]
+        self._merge(body["buffer"], sender)
+        if pending is not None:
+            self._finish_exchange(pending, success=True, outcome="success")
+
+    def _merge(self, buffer: list[PrivateViewEntry], sender: PrivateContact) -> None:
+        candidates: dict[NodeId, PrivateViewEntry] = dict(self._view)
+
+        def consider(entry: PrivateViewEntry) -> None:
+            if entry.node_id == self.node_id:
+                return
+            current = candidates.get(entry.node_id)
+            if current is None or entry.age < current.age:
+                candidates[entry.node_id] = entry
+
+        for entry in buffer:
+            consider(entry)
+        consider(PrivateViewEntry(contact=sender, age=0))
+        kept = sorted(candidates.values(), key=lambda e: (e.age, e.node_id))
+        self._view = {
+            entry.node_id: entry for entry in kept[: self.config.view_size]
+        }
+        # Keep PCP contacts fresh with the newest gateway information.
+        for node_id in list(self._pcp.keys()):
+            entry = self._view.get(node_id)
+            if entry is not None:
+                self._pcp[node_id] = entry.contact
+
+    # -- join protocol ----------------------------------------------------
+    def _send_join(self) -> None:
+        if self.state is not MemberState.JOINING or self._invitation is None:
+            return
+        self.stats.join_attempts += 1
+        body = {
+            "type": "group.join",
+            "group": self.group,
+            "accreditation": self._invitation.accreditation,
+            "joiner": self.self_contact(),
+        }
+        size = sizes.passport + self.self_contact().wire_size()
+        self.wcl.send_to(
+            self._invitation.entry_point, body, size, context="group.join"
+        )
+
+    def _on_join_request(self, body: dict[str, Any]) -> None:
+        if not self.keyring.is_leader:
+            return  # only leaders admit members; others stay silent
+        joiner: PrivateContact = body["joiner"]
+        accreditation = body.get("accreditation")
+        authorized = joiner.node_id in self._authorized
+        if not authorized:
+            if accreditation is None:
+                return
+            if not self.keyring.verify_accreditation(
+                self.provider, accreditation, joiner.node_id, self._sim.now,
+                node=self.node_id,
+            ):
+                return
+        passport = issue_passport(
+            self.provider, self.keyring, joiner.node_id, node=self.node_id
+        )
+        seed = [
+            PrivateViewEntry(contact=self.self_contact(), age=0)
+        ] + self._rng.sample(
+            list(self._view.values()), min(self.config.shuffle_size, len(self._view))
+        )
+        welcome = {
+            "type": "group.welcome",
+            "group": self.group,
+            "passport": passport,
+            "key_history": list(self.keyring.history),
+            "seed": seed,
+        }
+        size = sizes.passport + sizes.public_key * len(self.keyring.history)
+        size += sum(entry.contact.wire_size() for entry in seed)
+        self.wcl.send_to(joiner, welcome, size, context="group.welcome")
+        # Welcome the joiner into our own view too.
+        self._merge([PrivateViewEntry(contact=joiner, age=0)], joiner)
+
+    def _on_welcome(self, body: dict[str, Any]) -> None:
+        if self.state is not MemberState.JOINING:
+            return
+        for key in body["key_history"]:
+            self.keyring.adopt_key(key)
+        passport: Passport = body["passport"]
+        if passport.member_id != self.node_id:
+            return
+        self.passport = passport
+        self._merge(body["seed"], body["seed"][0].contact)
+        self._become_member()
+
+    # -- persistent path refresh (Section IV-C) ---------------------------
+    def _refresh_pcp(self) -> None:
+        if self.state is not MemberState.MEMBER or self.passport is None:
+            return
+        for contact in list(self._pcp.values()):
+            body = {
+                "type": "ppss.pcp_refresh",
+                "group": self.group,
+                "sender": self.self_contact(),
+                "passport": self.passport,
+                "hb": self._heartbeat_piggyback(),
+                "election": self.election.piggyback(),
+                "new_key": self._new_key_announcement,
+            }
+            size = sizes.gossip_header + sizes.passport + body["sender"].wire_size()
+            self.wcl.send_to(contact, body, size, context="ppss.pcp")
+
+    def _on_pcp_refresh(self, body: dict[str, Any]) -> None:
+        sender: PrivateContact = body["sender"]
+        # Refresh whatever we hold about the sender.
+        self._merge([PrivateViewEntry(contact=sender, age=0)], sender)
+        ack = {
+            "type": "ppss.pcp_ack",
+            "group": self.group,
+            "sender": self.self_contact(),
+            "passport": self.passport,
+            "hb": self._heartbeat_piggyback(),
+            "election": self.election.piggyback(),
+            "new_key": self._new_key_announcement,
+        }
+        size = sizes.gossip_header + sizes.passport + ack["sender"].wire_size()
+        self.wcl.send_to(sender, ack, size, context="ppss.pcp")
+
+    def _on_pcp_ack(self, body: dict[str, Any]) -> None:
+        sender: PrivateContact = body["sender"]
+        if sender.node_id in self._pcp:
+            self._pcp[sender.node_id] = sender
+
+    # -- app payloads -----------------------------------------------------
+    def _on_app(self, body: dict[str, Any]) -> None:
+        self.stats.app_received += 1
+        if self._app_handler is not None:
+            self._app_handler(body["payload"], body.get("reply_to"))
+
+    # -- leader election fallout -----------------------------------------
+    def _become_elected_leader(self, epoch: int) -> None:
+        """We won the election: roll the group key and announce it.
+
+        Our own passport stays the old-key one — peers have not adopted the
+        new key yet, and old passports remain valid through the key history;
+        replacing it here would get every announcement-carrying message
+        rejected before the announcement could spread.
+        """
+        keypair = self.provider.generate_keypair()
+        self.keyring.become_leader(keypair)
+        if self.passport is None:
+            self.passport = issue_passport(
+                self.provider, self.keyring, self.node_id, node=self.node_id
+            )
+        announcement_body = (
+            "new_key", self.group, keypair.public.fingerprint, self.node_id
+        )
+        signature = self.provider.sign(
+            self.wcl.keypair, announcement_body, node=self.node_id,
+            context="group.newkey",
+        )
+        self._new_key_announcement = {
+            "group": self.group,
+            "leader_id": self.node_id,
+            "leader_key": self.wcl.public_key,
+            "key": keypair.public,
+            "signature": signature,
+        }
+
+    def _on_new_key(self, announcement: dict[str, Any]) -> None:
+        key = announcement["key"]
+        if any(k.fingerprint == key.fingerprint for k in self.keyring.history):
+            return
+        body = (
+            "new_key", announcement["group"], key.fingerprint,
+            announcement["leader_id"],
+        )
+        if announcement["group"] != self.group:
+            return
+        if not self.provider.verify(
+            announcement["leader_key"], body, announcement["signature"],
+            node=self.node_id, context="group.newkey",
+        ):
+            return
+        self.keyring.adopt_key(key)
+        self.election.observe_heartbeat(
+            Heartbeat(
+                leader_id=announcement["leader_id"],
+                epoch=len(self.keyring.history),
+                seq=0,
+            ),
+            self._sim.now,
+        )
+        # Re-propagate so the announcement floods the group epidemically.
+        self._new_key_announcement = announcement

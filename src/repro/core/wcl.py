@@ -1,0 +1,320 @@
+"""WCL: the WHISPER communication layer (Section III).
+
+Provides the ``sendTo(contact, msg)`` / ``receive(msg)`` API of Fig. 1:
+one-way confidential channels over onion paths S -> A -> B -> D, where
+
+- A (first mix) comes from the sender's connection backlog — a node with a
+  recently-used bidirectional NAT route;
+- B (second mix) must be a P-node that can reach D: one of D's advertised
+  gateways when D is natted, or any known P-node when D is public;
+- content is encrypted with a fresh symmetric key sealed for D only.
+
+Failures are silent by design (a broken hop cannot notify the source without
+breaking anonymity); callers detect them by end-to-end timeout and re-send
+with :meth:`WhisperCommunicationLayer.send_to` excluding tried mix pairs —
+exactly the retry scheme evaluated in Table I.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..crypto.provider import CryptoError, CryptoProvider, KeyPair, PublicKey
+from ..nat.traversal import ConnectionManager, NodeDescriptor
+from ..net.address import Endpoint, NodeId, NodeKind
+from ..nat.types import NatType
+from ..sim.engine import Simulator
+from .backlog import ConnectionBacklog
+from .contact import Gateway, PrivateContact
+from .onion import HopSpec, OnionPacket, build_onion, peel
+
+__all__ = ["WhisperCommunicationLayer", "AttemptInfo", "WclStats", "TraceLog"]
+
+ReceiveUpcall = Callable[[Any, int], None]
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptInfo:
+    """Outcome of one path-construction attempt (for retry bookkeeping)."""
+
+    first_mix: NodeId
+    second_mix: NodeId  # the next-to-last hop (always a P-node)
+    trace_id: int
+    middle_mixes: tuple[NodeId, ...] = ()  # extra hops when mixes > 2
+
+
+@dataclass
+class WclStats:
+    """Counters for one WCL endpoint."""
+
+    sent: int = 0
+    forwarded: int = 0  # onions relayed as a mix
+    delivered: int = 0  # onions terminating here
+    no_path: int = 0  # send_to found no usable (A, B) pair
+    misrouted: int = 0  # header did not open with our key
+    forward_failures: int = 0  # next-hop session was gone
+
+
+@dataclass
+class TraceLog:
+    """Measurement-only event log (drives the Fig. 7 breakdown)."""
+
+    enabled: bool = False
+    events: list[tuple[str, int, NodeId, float, float]] = field(default_factory=list)
+
+    def record(
+        self, event: str, trace_id: int, node: NodeId, time: float, ms: float = 0.0
+    ) -> None:
+        if self.enabled:
+            self.events.append((event, trace_id, node, time, ms))
+
+    def by_trace(self, trace_id: int) -> list[tuple[str, NodeId, float, float]]:
+        return [
+            (event, node, time, ms)
+            for (event, tid, node, time, ms) in self.events
+            if tid == trace_id
+        ]
+
+
+class WhisperCommunicationLayer:
+    """One node's WCL endpoint."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        keypair: KeyPair,
+        cm: ConnectionManager,
+        backlog: ConnectionBacklog,
+        provider: CryptoProvider,
+        sim: Simulator,
+        rng: random.Random,
+        trace: TraceLog | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.keypair = keypair
+        self.cm = cm
+        self.backlog = backlog
+        self.provider = provider
+        self._sim = sim
+        self._rng = rng
+        self.trace = trace if trace is not None else TraceLog()
+        self.stats = WclStats()
+        self._receive_upcall: ReceiveUpcall | None = None
+
+    @property
+    def public_key(self) -> PublicKey:
+        """This node's circulating WCL identity key."""
+        return self.keypair.public
+
+    def set_receive_upcall(self, upcall: ReceiveUpcall) -> None:
+        """Register the PPSS (or application) sink for arriving contents."""
+        self._receive_upcall = upcall
+
+    # ------------------------------------------------------------------
+    # sending (the WCL API's sendTo)
+    # ------------------------------------------------------------------
+    def send_to(
+        self,
+        contact: PrivateContact,
+        content: Any,
+        content_size: int,
+        exclude: set[tuple[NodeId, NodeId]] | None = None,
+        context: str = "wcl",
+        mixes: int = 2,
+    ) -> AttemptInfo | None:
+        """Build an onion path to ``contact`` and emit the message.
+
+        ``exclude`` lists (first mix, second mix) pairs already tried; the
+        selection draws a pair outside it, so callers implement the paper's
+        alternative-path retries by accumulating failures.  Returns None
+        when no usable pair remains ("No alt." in Table I).
+
+        ``mixes`` sets the path length: the paper's default is 2 (paths of
+        exactly four nodes); footnote 2's colluding-attacker extension uses
+        f mixes to tolerate f-1 colluders.  Extra mixes are P-nodes from
+        the connection backlog inserted between the first mix and the
+        next-to-last hop — every hop can reach a P-node directly.
+        """
+        if mixes < 2:
+            raise ValueError(f"a WCL path needs at least 2 mixes, got {mixes}")
+        exclude = exclude or set()
+        pair = self._select_mixes(contact, exclude)
+        if pair is None:
+            self.stats.no_path += 1
+            return None
+        first, second = pair
+        middles = self._select_middle_mixes(
+            mixes - 2, forbidden={first.node_id, second.node_id, contact.node_id},
+        )
+        if len(middles) < mixes - 2:
+            self.stats.no_path += 1
+            return None
+        dest_endpoint = (
+            contact.descriptor.public_endpoint if contact.is_public else None
+        )
+        path = [HopSpec(first.node_id, first.key)]
+        path += [
+            HopSpec(
+                m.node_id, m.key, public_endpoint=m.descriptor.public_endpoint,
+            )
+            for m in middles
+        ]
+        path += [
+            HopSpec(
+                second.node_id, second.key,
+                public_endpoint=second.descriptor.public_endpoint,
+            ),
+            HopSpec(contact.node_id, contact.key, public_endpoint=dest_endpoint),
+        ]
+        build_start_ms = self._charged_ms()
+        packet = build_onion(
+            self.provider, path, content, content_size,
+            node=self.node_id, context=context,
+        )
+        build_ms = self._charged_ms() - build_start_ms
+        self.trace.record(
+            f"{context}.build", packet.trace_id, self.node_id, self._sim.now, build_ms
+        )
+        # The CPU time spent building the onion delays the transmission.
+        self._sim.schedule(
+            build_ms / 1000.0,
+            lambda: self._emit(first.node_id, packet, context),
+        )
+        self.stats.sent += 1
+        return AttemptInfo(
+            first_mix=first.node_id, second_mix=second.node_id,
+            trace_id=packet.trace_id,
+            middle_mixes=tuple(m.node_id for m in middles),
+        )
+
+    def _select_middle_mixes(self, count: int, forbidden: set[NodeId]) -> list:
+        """P-nodes from the CB serving as intermediate hops (mixes > 2)."""
+        if count <= 0:
+            return []
+        candidates = [
+            e for e in self.backlog.public_entries()
+            if e.node_id not in forbidden
+        ]
+        self._rng.shuffle(candidates)
+        return candidates[:count]
+
+    def _emit(self, first_mix: NodeId, packet: OnionPacket, context: str) -> None:
+        self.trace.record(f"{context}.sent", packet.trace_id, self.node_id, self._sim.now)
+        self.cm.send_via_session(
+            first_mix, "wcl.onion", packet, packet.wire_size, "wcl"
+        )
+
+    def _select_mixes(
+        self,
+        contact: PrivateContact,
+        exclude: set[tuple[NodeId, NodeId]],
+    ) -> tuple[object, object] | None:
+        """Draw an (A, B) pair honouring the paper's constraints."""
+        second_candidates: list[Gateway] = [
+            g for g in contact.gateways
+            if g.node_id not in (self.node_id, contact.node_id)
+        ]
+        if contact.is_public:
+            # Any known P-node can reach a public destination directly.
+            for entry in self.backlog.public_entries():
+                if entry.node_id not in (self.node_id, contact.node_id) and all(
+                    g.node_id != entry.node_id for g in second_candidates
+                ):
+                    second_candidates.append(
+                        Gateway(descriptor=entry.descriptor, key=entry.key)
+                    )
+        firsts = self.backlog.first_mix_candidates(
+            exclude={self.node_id, contact.node_id}
+        )
+        self._rng.shuffle(second_candidates)
+        self._rng.shuffle(firsts)
+        # Vary the second mix fastest: a stale gateway is the most common
+        # failure, so alternatives try a different B before a different A.
+        for first in firsts:
+            for second in second_candidates:
+                if first.node_id == second.node_id:
+                    continue
+                if (first.node_id, second.node_id) in exclude:
+                    continue
+                return first, second
+        return None
+
+    # ------------------------------------------------------------------
+    # receiving / forwarding
+    # ------------------------------------------------------------------
+    def handle_onion(self, packet: OnionPacket) -> None:
+        """An onion arrived over one of our sessions: peel, then act."""
+        decrypt_start_ms = self._charged_ms()
+        try:
+            layer, forward = peel(
+                self.provider, self.keypair, packet,
+                node=self.node_id, context="wcl.peel",
+            )
+        except CryptoError:
+            self.stats.misrouted += 1
+            return
+        decrypt_ms = self._charged_ms() - decrypt_start_ms
+        self.trace.record(
+            "wcl.peel", packet.trace_id, self.node_id, self._sim.now, decrypt_ms
+        )
+        delay = decrypt_ms / 1000.0
+        if forward is None:
+            # We are the destination: recover the content with k.
+            assert layer.key is not None
+            try:
+                content = self.provider.decrypt_payload(
+                    layer.key, packet.body, node=self.node_id, context="wcl.body"
+                )
+            except CryptoError:
+                self.stats.misrouted += 1
+                return
+            self.stats.delivered += 1
+            self.trace.record(
+                "wcl.delivered", packet.trace_id, self.node_id, self._sim.now
+            )
+            if self._receive_upcall is not None:
+                upcall = self._receive_upcall
+                self._sim.schedule(
+                    delay, lambda: upcall(content, packet.body.size_bytes)
+                )
+            return
+        next_hop = layer.next_hop
+        assert next_hop is not None
+        self.stats.forwarded += 1
+        self._sim.schedule(
+            delay, lambda: self._forward(next_hop, forward)
+        )
+
+    def _forward(self, next_hop, packet: OnionPacket) -> None:
+        if next_hop.public_endpoint is not None:
+            descriptor = NodeDescriptor(
+                node_id=next_hop.node_id,
+                kind=NodeKind.PUBLIC,
+                nat_type=NatType.OPEN,
+                public_endpoint=next_hop.public_endpoint,
+            )
+            self.cm.ensure_session(
+                descriptor,
+                on_ready=lambda: self._forward_via_session(next_hop.node_id, packet),
+                on_fail=lambda reason: self._forward_failed(),
+            )
+        else:
+            self._forward_via_session(next_hop.node_id, packet)
+
+    def _forward_via_session(self, node_id: NodeId, packet: OnionPacket) -> None:
+        if not self.cm.send_via_session(
+            node_id, "wcl.onion", packet, packet.wire_size, "wcl"
+        ):
+            self._forward_failed()
+
+    def _forward_failed(self) -> None:
+        # A mix cannot report the break without revealing path structure;
+        # the source recovers by end-to-end timeout (Table I "Alt." rows).
+        self.stats.forward_failures += 1
+
+    # ------------------------------------------------------------------
+    def _charged_ms(self) -> float:
+        """Cumulative CPU ms charged to this node (delta = cost of a step)."""
+        return self.provider.accountant.node_total_ms(self.node_id)

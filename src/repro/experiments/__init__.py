@@ -1,0 +1,32 @@
+"""The paper's evaluation (Section V): one module per table/figure.
+
+Every module exposes ``run(scale=..., seed=...) -> Report``; rendering the
+report prints the same rows/series the paper plots.  The benchmark suite in
+``benchmarks/`` is a thin wrapper over these functions.
+"""
+
+from . import (
+    fig5_biased_pss,
+    fig6_key_sampling,
+    fig7_rtt,
+    fig8_group_bandwidth,
+    fig9_tchord,
+    table1_churn,
+    table2_cpu,
+)
+from .common import bench_scale
+
+__all__ = [
+    "bench_scale",
+    "fig5_biased_pss",
+    "fig6_key_sampling",
+    "fig7_rtt",
+    "fig8_group_bandwidth",
+    "fig9_tchord",
+    "table1_churn",
+    "table2_cpu",
+]
+
+from . import ablations  # noqa: E402  (ablation studies beyond the paper)
+
+__all__.append("ablations")

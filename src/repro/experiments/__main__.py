@@ -1,0 +1,81 @@
+"""Command-line runner for the evaluation experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5 --scale 0.5
+    python -m repro.experiments table1 --scale 1.0 --seed 7
+    python -m repro.experiments all --scale 0.2
+
+Reports print to stdout in the paper's row/series format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    fig5_biased_pss,
+    fig6_key_sampling,
+    fig7_rtt,
+    fig8_group_bandwidth,
+    fig9_tchord,
+    table1_churn,
+    table2_cpu,
+)
+
+EXPERIMENTS = {
+    "fig5": ("Fig. 5 — biased PSS quality", fig5_biased_pss.run),
+    "fig6": ("Fig. 6 — key sampling bandwidth", fig6_key_sampling.run),
+    "table1": ("Table I — routes under churn", table1_churn.run),
+    "fig7": ("Fig. 7 — RTT breakdown", fig7_rtt.run),
+    "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
+    "fig8": ("Fig. 8 — bandwidth vs groups", fig8_group_bandwidth.run),
+    "fig9": ("Fig. 9 — T-Chord routing delays", fig9_tchord.run),
+    "ablation-path": ("Ablation — path length", ablations.run_path_length),
+    "ablation-pi": ("Ablation — Pi sweep", ablations.run_pi_sweep),
+    "ablation-leases": ("Ablation — NAT leases", ablations.run_session_leases),
+    "ablation-policy": ("Ablation — truncation policy",
+                        ablations.run_truncation_policy),
+    "ablation-anonymity": ("Ablation — adversary coverage sweep",
+                           ablations.run_observation_sweep),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the WHISPER paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "list", "all"],
+        help="which experiment to run ('list' to enumerate, 'all' for every one)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="population scale; 1.0 = paper size (default 0.5)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (title, _run) in EXPERIMENTS.items():
+            print(f"{name:<16} {title}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _title, run = EXPERIMENTS[name]
+        kwargs = {"scale": args.scale}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        report = run(**kwargs)
+        print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Fig. 6 — Public key sampling service: bandwidth costs.
+
+Per-cycle upload/download bandwidth of N-nodes and P-nodes for five stack
+configurations (unbiased PSS without and with key sampling, then Π=1..3
+with key sampling) across three N:P population ratios (80/20, 70/30,
+50/50).  The paper reports cumulative averages over 1,000 nodes.
+
+Expected shape: balanced N/P bandwidth when unbiased; P-node load grows
+with Π but stays within ~2.5 KB per 10 s cycle; the scarcer P-nodes are,
+the more they carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.node import WhisperConfig
+from ..harness.report import Report, Table
+from ..harness.world import World, WorldConfig
+from ..net.address import NodeKind
+from ..pss.gossip import PssConfig
+from .common import scaled
+
+__all__ = ["run", "CONFIGS"]
+
+# (label, pi, exchange_keys)
+CONFIGS = (
+    ("unbiased", 0, False),
+    ("unbiased+KS", 0, True),
+    ("Pi=1+KS", 1, True),
+    ("Pi=2+KS", 2, True),
+    ("Pi=3+KS", 3, True),
+)
+
+RATIOS = (0.8, 0.7, 0.5)  # natted fractions: N:P of 80/20, 70/30, 50/50
+
+# Traffic that belongs to the PSS + key management plane.
+_CATEGORIES = ("pss", "wcl.cb")
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 1006,
+    warmup_cycles: int = 20,
+    window_cycles: int = 20,
+) -> Report:
+    report = Report(title="Fig. 6 — Key sampling bandwidth (KB per 10 s cycle)")
+    n_nodes = scaled(1000, scale, minimum=100)
+    cycle = 10.0
+    for natted_fraction in RATIOS:
+        table = Table(
+            title=(
+                f"N:{natted_fraction:.0%} P:{1 - natted_fraction:.0%} — "
+                f"{n_nodes} nodes, averaged over {window_cycles} cycles"
+            ),
+            headers=["config", "N up", "N down", "P up", "P down"],
+        )
+        for label, pi, exchange_keys in CONFIGS:
+            world = World(
+                WorldConfig(
+                    seed=seed + pi + round(natted_fraction * 100),
+                    natted_fraction=natted_fraction,
+                    whisper=replace(
+                        WhisperConfig(),
+                        pi=pi,
+                        pss=PssConfig(exchange_keys=exchange_keys),
+                    ),
+                )
+            )
+            world.populate(n_nodes)
+            world.start_all()
+            world.run(warmup_cycles * cycle)
+            world.network.accountant.snapshot()  # reset the window
+            world.run(window_cycles * cycle)
+            window = world.network.accountant.snapshot()
+            n_up, n_down, p_up, p_down = _per_cycle_kb(
+                world, window, window_cycles
+            )
+            table.add_row(label, n_up, n_down, p_up, p_down)
+        report.add(table)
+    report.note(
+        "Counted traffic: gossip exchanges incl. piggybacked 1 KB keys and "
+        "explicit CB key probes (categories: " + ", ".join(_CATEGORIES) + ")."
+    )
+    report.note(
+        "Paper shape: balanced when unbiased; P-node cost grows with Pi and "
+        "with P-node scarcity, remaining under ~2.5 KB/cycle."
+    )
+    return report
+
+
+def _per_cycle_kb(world, window, window_cycles):
+    n_up = n_down = p_up = p_down = 0.0
+    n_count = p_count = 0
+    for node in world.alive_nodes():
+        totals = window.get(node.node_id)
+        if totals is None:
+            continue
+        up = sum(totals.up_by_category.get(c, 0) for c in _CATEGORIES)
+        down = sum(totals.down_by_category.get(c, 0) for c in _CATEGORIES)
+        if node.cm.kind is NodeKind.PUBLIC:
+            p_up += up
+            p_down += down
+            p_count += 1
+        else:
+            n_up += up
+            n_down += down
+            n_count += 1
+    kb = 1024.0
+    return (
+        n_up / max(n_count, 1) / window_cycles / kb,
+        n_down / max(n_count, 1) / window_cycles / kb,
+        p_up / max(p_count, 1) / window_cycles / kb,
+        p_down / max(p_count, 1) / window_cycles / kb,
+    )

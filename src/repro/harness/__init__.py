@@ -1,0 +1,15 @@
+"""Experiment harness: world building, churn driving, report rendering."""
+
+from .invariants import InvariantViolation, check_invariants
+from .report import CdfSummary, Report, Table
+from .world import World, WorldConfig
+
+__all__ = [
+    "CdfSummary",
+    "InvariantViolation",
+    "Report",
+    "Table",
+    "World",
+    "WorldConfig",
+    "check_invariants",
+]

@@ -1,0 +1,90 @@
+"""World-wide invariant checking.
+
+``check_invariants(world)`` sweeps every live node and verifies the
+structural properties the protocol stack must maintain at all times.  Tests
+call it after integration scenarios; long-running experiments can call it
+periodically to catch protocol-state corruption early.
+
+Checked invariants:
+
+- PSS views: within capacity, no self-entry, no dead entries older than the
+  failure-detection horizon is *not* checked (liveness is eventual), but
+  the Π P-node floor must hold whenever enough P-nodes exist.
+- Connection backlog: within capacity, no self, every entry carries a key,
+  the Π P-node floor (when the PSS view can supply P-nodes).
+- Private views: only ever contain members of the same group (verified via
+  passports having been required), never the node itself, within capacity.
+- Group keyrings: members of the same group share a key-history prefix.
+"""
+
+from __future__ import annotations
+
+from ..net.address import NodeKind
+from .world import World
+
+__all__ = ["InvariantViolation", "check_invariants"]
+
+
+class InvariantViolation(AssertionError):
+    """A structural protocol invariant was broken."""
+
+
+def _ensure(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def check_invariants(world: World) -> int:
+    """Verify all invariants; returns the number of nodes checked."""
+    checked = 0
+    public_population = len(world.public_nodes())
+    group_keys: dict[str, dict[str, int]] = {}
+    for node in world.alive_nodes():
+        checked += 1
+        prefix = f"node {node.node_id}:"
+        view = node.pss.view
+        _ensure(len(view) <= view.capacity, f"{prefix} PSS view over capacity")
+        _ensure(node.node_id not in view, f"{prefix} PSS view contains self")
+        pi = node.config.pi
+        if pi and public_population >= pi and len(view) >= view.capacity:
+            _ensure(
+                view.count_public() >= pi,
+                f"{prefix} PSS view violates the Pi={pi} P-node floor "
+                f"({view.count_public()} present)",
+            )
+        cb = node.backlog
+        _ensure(len(cb) <= cb.capacity, f"{prefix} CB over capacity")
+        _ensure(node.node_id not in cb, f"{prefix} CB contains self")
+        for entry in cb.entries():
+            _ensure(entry.key is not None, f"{prefix} CB entry without a key")
+        for gateway in cb.gateways_for_self():
+            _ensure(
+                gateway.is_public,
+                f"{prefix} advertises a non-public gateway",
+            )
+        for name, ppss in node.groups.items():
+            gprefix = f"{prefix} group {name!r}:"
+            _ensure(
+                ppss.view_size() <= ppss.config.view_size,
+                f"{gprefix} private view over capacity",
+            )
+            _ensure(
+                all(c.node_id != node.node_id for c in ppss.view_contacts()),
+                f"{gprefix} private view contains self",
+            )
+            for contact in ppss.view_contacts():
+                if not contact.is_public:
+                    _ensure(
+                        all(g.is_public for g in contact.gateways),
+                        f"{gprefix} member entry with non-public gateway",
+                    )
+            if ppss.keyring.history:
+                fingerprints = tuple(k.fingerprint for k in ppss.keyring.history)
+                seen = group_keys.setdefault(name, {})
+                for depth, fp in enumerate(fingerprints):
+                    previous = seen.setdefault(fp, depth)
+                    _ensure(
+                        previous == depth,
+                        f"{gprefix} key history diverges at depth {depth}",
+                    )
+    return checked

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results (paper-style tables/figures).
+
+Every experiment module produces a :class:`Report`: a titled collection of
+tables and CDF summaries that renders to the same rows/series the paper
+prints, suitable for diffing against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.stats import percentile
+
+__all__ = ["Table", "CdfSummary", "Report"]
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and formatted body rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class CdfSummary:
+    """A distribution reported at the paper's usual percentile grid."""
+
+    title: str
+    samples: list[float]
+    unit: str = ""
+    levels: tuple[float, ...] = (5, 25, 50, 75, 80, 90, 95, 99, 100)
+
+    def render(self) -> str:
+        if not self.samples:
+            return f"{self.title}\n  (no samples)"
+        lines = [f"{self.title}  (n={len(self.samples)})"]
+        for level in self.levels:
+            value = percentile(self.samples, level)
+            lines.append(f"  p{level:<3g} {value:>12.4f} {self.unit}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """One experiment's full output."""
+
+    title: str
+    sections: list[object] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, section: Table | CdfSummary) -> None:
+        self.sections.append(section)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"=== {self.title} ==="]
+        for section in self.sections:
+            parts.append(section.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts) + "\n"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

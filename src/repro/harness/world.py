@@ -1,0 +1,240 @@
+"""Experiment harness: builds and drives whole WHISPER deployments.
+
+A :class:`World` assembles the simulator, NAT topology, network fabric,
+crypto provider and a population of :class:`WhisperNode` — the equivalent of
+the paper's SPLAY deployment scripts.  It supports the two testbed profiles
+(cluster / PlanetLab), exact N:P ratios, node arrival/departure for churn
+experiments, and snapshots for the overlay metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.node import WhisperConfig, WhisperNode
+from ..core.wcl import TraceLog
+from ..crypto.costmodel import CostModel, CpuAccountant
+from ..crypto.provider import CryptoProvider, RealCryptoProvider, SimCryptoProvider
+from ..nat.topology import NatTopology
+from ..nat.traversal import NodeDescriptor
+from ..nat.types import EMULATED_TYPES, NatType
+from ..net.address import NodeId, NodeKind
+from ..net.latency import (
+    ClusterLatencyModel,
+    FixedLatencyModel,
+    LatencyModel,
+    PlanetLabLatencyModel,
+)
+from ..net.network import Network
+from ..metrics.graph import ViewGraph
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+
+__all__ = ["WorldConfig", "World"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Deployment profile.
+
+    ``latency`` is one of ``"cluster"``, ``"planetlab"``, ``"fixed"``;
+    ``provider`` one of ``"sim"`` (fast envelopes, for 1,000-node runs) or
+    ``"real"`` (actual RSA/AES).  ``natted_fraction`` defaults to the
+    paper's 70%, split evenly between the four emulated NAT types.
+    """
+
+    seed: int = 42
+    latency: str = "cluster"
+    provider: str = "sim"
+    real_key_bits: int = 512
+    real_use_aes: bool = True  # False swaps in the fast keyed stream cipher
+    natted_fraction: float = 0.7
+    exact_ratio: bool = True  # enforce the N:P ratio exactly, not in expectation
+    introducer_count: int = 5
+    whisper: WhisperConfig = field(default_factory=WhisperConfig)
+    trace_enabled: bool = False
+    cost_model: CostModel = field(default_factory=CostModel)
+
+
+class World:
+    """A running deployment: nodes join/leave it, experiments measure it."""
+
+    def __init__(self, config: WorldConfig | None = None) -> None:
+        self.config = config if config is not None else WorldConfig()
+        self.sim = Simulator()
+        self.registry = RngRegistry(self.config.seed)
+        self.topology = NatTopology(
+            self.registry.stream("nat"), natted_fraction=self.config.natted_fraction
+        )
+        self.network = Network(self.sim, self.topology, self._make_latency())
+        self.accountant = CpuAccountant(
+            self.config.cost_model, rng=self.registry.stream("cpu")
+        )
+        self.provider = self._make_provider()
+        self.trace = TraceLog(enabled=self.config.trace_enabled)
+        self.nodes: dict[NodeId, WhisperNode] = {}
+        self._ids = itertools.count(1)
+        self._nat_cycle = itertools.cycle(EMULATED_TYPES)
+        self._introducers: list[NodeDescriptor] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _make_latency(self) -> LatencyModel:
+        rng = self.registry.stream("latency")
+        if self.config.latency == "cluster":
+            return ClusterLatencyModel(rng)
+        if self.config.latency == "planetlab":
+            return PlanetLabLatencyModel(rng)
+        if self.config.latency == "fixed":
+            return FixedLatencyModel(0.01)
+        raise ValueError(f"unknown latency profile: {self.config.latency!r}")
+
+    def _make_provider(self) -> CryptoProvider:
+        rng = self.registry.stream("crypto")
+        if self.config.provider == "sim":
+            return SimCryptoProvider(rng, self.accountant)
+        if self.config.provider == "real":
+            return RealCryptoProvider(
+                rng, self.accountant,
+                key_bits=self.config.real_key_bits,
+                use_aes=self.config.real_use_aes,
+            )
+        raise ValueError(f"unknown provider: {self.config.provider!r}")
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    def _draw_nat_type(self) -> NatType:
+        if self.registry.stream("natdraw").random() < self.config.natted_fraction:
+            return next(self._nat_cycle)
+        return NatType.OPEN
+
+    def _exact_nat_plan(self, count: int) -> list[NatType]:
+        """Exactly ``natted_fraction`` natted, evenly split across types,
+        randomly interleaved so P-nodes are not clustered by id."""
+        natted = round(count * self.config.natted_fraction)
+        plan = [NatType.OPEN] * (count - natted)
+        plan += [next(self._nat_cycle) for _ in range(natted)]
+        self.registry.stream("natplan").shuffle(plan)
+        return plan
+
+    def add_node(self, nat_type: NatType | None = None) -> WhisperNode:
+        """Create one node (not yet started)."""
+        node_id = next(self._ids)
+        if nat_type is None:
+            nat_type = self._draw_nat_type()
+        self.topology.add_node(node_id, nat_type)
+        node = WhisperNode(
+            node_id=node_id,
+            nat_type=nat_type,
+            sim=self.sim,
+            network=self.network,
+            provider=self.provider,
+            rng=self.registry.fork(f"node-{node_id}").stream("main"),
+            config=self.config.whisper,
+            trace=self.trace,
+        )
+        self.nodes[node_id] = node
+        return node
+
+    def populate(self, count: int) -> list[WhisperNode]:
+        """Create ``count`` nodes honouring the configured N:P ratio."""
+        if self.config.exact_ratio:
+            plan = self._exact_nat_plan(count)
+        else:
+            plan = [None] * count  # type: ignore[list-item]
+        return [self.add_node(nat_type) for nat_type in plan]
+
+    def introducers(self) -> list[NodeDescriptor]:
+        """Bootstrap entry points: a self-refreshing set of live P-nodes.
+
+        Departed introducers are dropped and replaced, so joiners arriving
+        during churn still bootstrap against live entry points (real
+        deployments rotate their rendezvous servers the same way).
+        """
+        # Killed nodes are removed from the registry; nodes created but not
+        # yet started still count (start_all resolves introducers up front).
+        present = set(self.nodes)
+        self._introducers = [
+            d for d in self._introducers if d.node_id in present
+        ]
+        if len(self._introducers) < self.config.introducer_count:
+            have = {d.node_id for d in self._introducers}
+            for node in self.nodes.values():
+                if (
+                    node.cm.kind is NodeKind.PUBLIC
+                    and node.node_id not in have
+                ):
+                    self._introducers.append(node.descriptor())
+                    if len(self._introducers) >= self.config.introducer_count:
+                        break
+        if not self._introducers:
+            raise RuntimeError("no public nodes available as introducers")
+        return list(self._introducers)
+
+    def start_all(self) -> None:
+        for node in self.nodes.values():
+            if not node.alive:
+                node.start(self.introducers())
+
+    def spawn_started(self, nat_type: NatType | None = None) -> WhisperNode:
+        """Add a node and start it immediately (churn arrivals).
+
+        The very first node of an empty world is forced public: every
+        deployment needs at least one reachable bootstrap point.
+        """
+        if nat_type is None and not any(
+            n.alive and n.cm.kind is NodeKind.PUBLIC for n in self.nodes.values()
+        ):
+            nat_type = NatType.OPEN
+        node = self.add_node(nat_type)
+        try:
+            introducers = self.introducers()
+        except RuntimeError:
+            # We *are* the first (public) node: bootstrap against ourselves.
+            introducers = [node.descriptor()]
+        node.start(introducers)
+        return node
+
+    def kill_node(self, node_id: NodeId) -> None:
+        """Abrupt departure: the node vanishes, NAT state evaporates."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return
+        node.kill()
+        self.topology.remove_node(node_id)
+
+    def alive_nodes(self) -> list[WhisperNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def public_nodes(self) -> list[WhisperNode]:
+        return [n for n in self.alive_nodes() if n.cm.kind is NodeKind.PUBLIC]
+
+    def natted_nodes(self) -> list[WhisperNode]:
+        return [n for n in self.alive_nodes() if n.cm.kind is NodeKind.NATTED]
+
+    # ------------------------------------------------------------------
+    # execution & measurement
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def view_graph(self) -> ViewGraph:
+        """Snapshot of the system-wide PSS overlay (for Fig. 5 metrics)."""
+        return ViewGraph(
+            {
+                node.node_id: node.pss.view.node_ids()
+                for node in self.alive_nodes()
+            }
+        )
+
+    def private_view_graph(self, group: str) -> ViewGraph:
+        """Snapshot of one group's PPSS overlay."""
+        views = {}
+        for node in self.alive_nodes():
+            ppss = node.groups.get(group)
+            if ppss is not None:
+                views[node.node_id] = [c.node_id for c in ppss.view_contacts()]
+        return ViewGraph(views)

@@ -1,0 +1,76 @@
+"""Distribution utilities: CDFs, percentiles, stacked-percentile series.
+
+The paper's figures report distributions as CDFs (Fig. 5, 7, 9) or stacked
+percentiles in shades of grey (Fig. 8: 5th/25th/50th/75th/90th).  These
+helpers compute the same summaries from raw samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["cdf_points", "percentile", "stacked_percentiles", "Summary", "summarize"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    # low + (high-low)*f rather than low*(1-f) + high*f: the latter can
+    # round below ordered[low] when the two samples are equal.
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def cdf_points(samples: list[float]) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs, suitable for CDF plotting."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+# The grey-shade stack used throughout Fig. 8.
+PAPER_PERCENTILES = (5.0, 25.0, 50.0, 75.0, 90.0)
+
+
+def stacked_percentiles(
+    samples: list[float], levels: tuple[float, ...] = PAPER_PERCENTILES
+) -> dict[float, float]:
+    """The paper's stacked-percentile representation of a distribution."""
+    return {level: percentile(samples, level) for level in levels}
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+
+
+def summarize(samples: list[float]) -> Summary:
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    return Summary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        median=percentile(samples, 50.0),
+        p90=percentile(samples, 90.0),
+    )

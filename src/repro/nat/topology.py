@@ -1,0 +1,157 @@
+"""Assignment of NAT devices to nodes.
+
+The paper deploys "70% of the nodes behind NAT devices, evenly split between
+the four NAT types" to reflect the Casado-Freedman measurement study [4].
+:class:`NatTopology` reproduces that assignment and resolves endpoint
+ownership for the network fabric.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.address import Endpoint, NodeId, NodeKind, Protocol
+from .device import NatDevice
+from .types import EMULATED_TYPES, NatType
+
+__all__ = ["NatTopology", "NatAssignment"]
+
+_NODE_PORT = 7000  # every node listens on one well-known local port
+
+
+class NatAssignment:
+    """Where one node sits in the topology."""
+
+    __slots__ = ("node_id", "nat_type", "device", "local_endpoint")
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        nat_type: NatType,
+        device: NatDevice | None,
+        local_endpoint: Endpoint,
+    ) -> None:
+        self.node_id = node_id
+        self.nat_type = nat_type
+        self.device = device
+        self.local_endpoint = local_endpoint
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.NATTED if self.nat_type.is_natted else NodeKind.PUBLIC
+
+
+class NatTopology:
+    """Creates and tracks per-node NAT assignments.
+
+    Each natted node gets its own emulated device (matching how SPLAY's
+    emulation attaches a NAT instance per natted process).  The topology also
+    answers the two routing questions the fabric asks:
+
+    - what source endpoint does the world observe for node X sending to D?
+    - which node owns destination endpoint E (after inbound filtering)?
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        natted_fraction: float = 0.7,
+        nat_types: tuple[NatType, ...] = EMULATED_TYPES,
+    ) -> None:
+        if not 0.0 <= natted_fraction <= 1.0:
+            raise ValueError(f"natted_fraction out of range: {natted_fraction}")
+        self._rng = rng
+        self._natted_fraction = natted_fraction
+        self._nat_types = nat_types
+        self._assignments: dict[NodeId, NatAssignment] = {}
+        self._public_owner: dict[str, NodeId] = {}  # public host -> node
+        self._nat_owner: dict[str, NodeId] = {}  # nat host -> node behind it
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, nat_type: NatType | None = None) -> NatAssignment:
+        """Register a node; draws a NAT type if none is forced.
+
+        Natted nodes receive a private endpoint and a dedicated device; public
+        nodes receive a globally reachable endpoint.
+        """
+        if node_id in self._assignments:
+            raise ValueError(f"node {node_id} already registered")
+        if nat_type is None:
+            nat_type = self._draw_type()
+        if nat_type.is_natted:
+            device = NatDevice(nat_id=node_id, nat_type=nat_type)
+            local = Endpoint(f"priv-{node_id}", _NODE_PORT)
+            self._nat_owner[device.public_host] = node_id
+        else:
+            device = None
+            local = Endpoint(f"pub-{node_id}", _NODE_PORT)
+            self._public_owner[local.host] = node_id
+        assignment = NatAssignment(node_id, nat_type, device, local)
+        self._assignments[node_id] = assignment
+        return assignment
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Forget a departed node (its NAT state vanishes with it)."""
+        assignment = self._assignments.pop(node_id, None)
+        if assignment is None:
+            return
+        if assignment.device is not None:
+            self._nat_owner.pop(assignment.device.public_host, None)
+        else:
+            self._public_owner.pop(assignment.local_endpoint.host, None)
+
+    def _draw_type(self) -> NatType:
+        if self._rng.random() < self._natted_fraction:
+            return self._rng.choice(self._nat_types)
+        return NatType.OPEN
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def assignment(self, node_id: NodeId) -> NatAssignment:
+        return self._assignments[node_id]
+
+    def knows(self, node_id: NodeId) -> bool:
+        return node_id in self._assignments
+
+    def kind(self, node_id: NodeId) -> NodeKind:
+        return self._assignments[node_id].kind
+
+    def public_endpoint(self, node_id: NodeId) -> Endpoint:
+        """The directly reachable endpoint of a P-node (error for N-nodes)."""
+        assignment = self._assignments[node_id]
+        if assignment.kind is not NodeKind.PUBLIC:
+            raise ValueError(f"node {node_id} is natted and has no public endpoint")
+        return assignment.local_endpoint
+
+    # ------------------------------------------------------------------
+    # fabric hooks
+    # ------------------------------------------------------------------
+    def translate_outbound(
+        self, node_id: NodeId, remote: Endpoint, protocol: Protocol, now: float
+    ) -> Endpoint:
+        """Source endpoint observed by the remote when ``node_id`` sends."""
+        assignment = self._assignments[node_id]
+        if assignment.device is None:
+            return assignment.local_endpoint
+        return assignment.device.outbound(
+            assignment.local_endpoint, remote, protocol, now
+        )
+
+    def resolve_inbound(
+        self, dst: Endpoint, source: Endpoint, protocol: Protocol, now: float
+    ) -> NodeId | None:
+        """Owner node of ``dst``, after NAT filtering; ``None`` if dropped."""
+        if dst.host in self._public_owner:
+            return self._public_owner[dst.host]
+        owner = self._nat_owner.get(dst.host)
+        if owner is None:
+            return None  # destination departed
+        device = self._assignments[owner].device
+        assert device is not None
+        internal = device.inbound(dst.port, source, protocol, now)
+        if internal is None:
+            return None
+        return owner

@@ -1,0 +1,33 @@
+"""Network substrate: endpoints, latency models, bandwidth accounting, fabric."""
+
+from .address import Endpoint, NodeId, NodeKind, Protocol
+from .bandwidth import BandwidthAccountant, TrafficTotals
+from .latency import (
+    ClusterLatencyModel,
+    FixedLatencyModel,
+    LatencyModel,
+    PlanetLabLatencyModel,
+)
+from .message import Message, WireSizes, sizes
+from .network import Network, NetworkStats
+from .observer import LinkObserver, ObservedPacket
+
+__all__ = [
+    "BandwidthAccountant",
+    "ClusterLatencyModel",
+    "Endpoint",
+    "FixedLatencyModel",
+    "LatencyModel",
+    "LinkObserver",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "NodeId",
+    "NodeKind",
+    "ObservedPacket",
+    "PlanetLabLatencyModel",
+    "Protocol",
+    "TrafficTotals",
+    "WireSizes",
+    "sizes",
+]

@@ -1,0 +1,68 @@
+"""Per-node bandwidth accounting.
+
+The paper reports bandwidth in KB per PSS cycle (Fig. 6) and KB/s stacked
+percentiles (Fig. 8), split by direction and by traffic category (gossip
+entries vs public keys vs WCL payloads).  The accountant records every
+delivered message against its sender (upload) and receiver (download),
+tagged with a free-form category so experiments can slice the totals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .address import NodeId
+
+__all__ = ["BandwidthAccountant", "TrafficTotals"]
+
+
+@dataclass
+class TrafficTotals:
+    """Byte counters for one node, by direction and category."""
+
+    up_bytes: int = 0
+    down_bytes: int = 0
+    up_by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    down_by_category: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_up(self, size: int, category: str) -> None:
+        self.up_bytes += size
+        self.up_by_category[category] += size
+
+    def record_down(self, size: int, category: str) -> None:
+        self.down_bytes += size
+        self.down_by_category[category] += size
+
+
+class BandwidthAccountant:
+    """Accumulates traffic per node; supports epoch snapshots.
+
+    ``snapshot()`` returns the totals accumulated since the previous snapshot
+    — experiments call it once per measurement window (e.g. one PSS cycle)
+    to obtain per-cycle figures.
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[NodeId, TrafficTotals] = defaultdict(TrafficTotals)
+        self._window: dict[NodeId, TrafficTotals] = defaultdict(TrafficTotals)
+
+    def record(self, src: NodeId, dst: NodeId, size: int, category: str) -> None:
+        """Charge ``size`` bytes: upload at ``src``, download at ``dst``."""
+        self._totals[src].record_up(size, category)
+        self._totals[dst].record_down(size, category)
+        self._window[src].record_up(size, category)
+        self._window[dst].record_down(size, category)
+
+    def totals(self, node: NodeId) -> TrafficTotals:
+        """Lifetime totals for ``node`` (zeros if it never sent/received)."""
+        return self._totals[node]
+
+    def all_totals(self) -> dict[NodeId, TrafficTotals]:
+        return dict(self._totals)
+
+    def snapshot(self) -> dict[NodeId, TrafficTotals]:
+        """Return and reset the current measurement window."""
+        window = dict(self._window)
+        self._window = defaultdict(TrafficTotals)
+        return window

@@ -1,0 +1,75 @@
+"""Message envelopes and the wire-size model.
+
+Payloads stay Python objects (no real serialization), but every message
+carries an explicit ``size_bytes`` so bandwidth accounting (Fig. 6 and
+Fig. 8 of the paper) is meaningful.  The :mod:`sizes` constants encode the
+paper's wire format assumptions: 1 KB public keys, small view entries, etc.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from .address import Endpoint, Protocol
+
+__all__ = ["Message", "sizes", "WireSizes"]
+
+_msg_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """A packet in flight.
+
+    ``src`` is the endpoint the *receiver observes* (after NAT translation);
+    ``origin_src`` records the endpoint as emitted, which NAT devices need
+    for their mapping tables.  ``kind`` is a short routing tag consumed by
+    the receiving protocol stack (e.g. ``"pss.request"``, ``"wcl.onion"``).
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    kind: str
+    payload: Any
+    size_bytes: int
+    protocol: Protocol = Protocol.UDP
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class WireSizes:
+    """Serialized sizes (bytes) used for bandwidth accounting.
+
+    Defaults follow the paper: RSA public keys serialize to ~1 KB
+    (Section V-E: "the size of public keys is 1KB"), node descriptors carry
+    contact information, and onion layers add an RSA-sealed header each.
+    """
+
+    public_key: int = 1024
+    node_descriptor: int = 32  # id + endpoint + flags + age
+    view_entry: int = 40  # descriptor + freshness metadata
+    onion_layer_overhead: int = 128  # RSA-sealed (key, next-hop) header
+    passport: int = 160  # node id signed with the group key
+    gossip_header: int = 24
+    connect_control: int = 48  # hole-punching control packets
+    heartbeat: int = 16
+
+    def private_view_entry(self, n_pnodes: int) -> int:
+        """Size of one PPSS view entry.
+
+        An entry names the group member, ships its public key, and — for
+        N-node entries — Π P-node (descriptor, key) pairs usable as the
+        next-to-last WCL hop (Section IV-B).
+        """
+        base = self.node_descriptor + self.public_key
+        return base + n_pnodes * (self.node_descriptor + self.public_key)
+
+
+sizes = WireSizes()
+"""Module-level default size model (paper configuration)."""

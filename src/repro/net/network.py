@@ -1,0 +1,197 @@
+"""The network fabric: NAT-aware, latency-modelled message delivery.
+
+This is the lowest substrate the protocol stack runs on.  A send goes
+through the following pipeline::
+
+    sender --(NAT egress translation)--> wire --(latency, loss)-->
+        destination endpoint --(NAT ingress filtering)--> receiver handler
+
+Bandwidth is charged per message (upload at the sender always, download at
+the receiver only on successful delivery), and link observers are notified
+of everything that touches the wire — including packets later dropped by an
+ingress filter, since a wiretap sees those too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.engine import Simulator
+
+if TYPE_CHECKING:  # avoid a runtime net <-> nat import cycle
+    from ..nat.topology import NatTopology
+from .address import Endpoint, NodeId, Protocol
+from .bandwidth import BandwidthAccountant
+from .latency import LatencyModel
+from .message import Message
+from .observer import LinkObserver, ObservedPacket
+
+__all__ = ["Network", "NetworkStats"]
+
+Handler = Callable[[Message], None]
+
+
+class NetworkStats:
+    """Fabric-wide counters."""
+
+    __slots__ = ("sent", "delivered", "lost", "filtered", "no_handler")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0  # dropped by the loss model
+        self.filtered = 0  # dropped by a NAT ingress filter or dead endpoint
+        self.no_handler = 0  # owner resolved but node already departed
+
+
+class Network:
+    """Connects registered nodes through the NAT topology and latency model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: "NatTopology",
+        latency: LatencyModel,
+        accountant: BandwidthAccountant | None = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._latency = latency
+        self.accountant = accountant if accountant is not None else BandwidthAccountant()
+        self._handlers: dict[NodeId, Handler] = {}
+        self._observers: list[LinkObserver] = []
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def attach(self, node_id: NodeId, handler: Handler) -> None:
+        """Register the receive handler for a (topology-registered) node."""
+        if not self._topology.knows(node_id):
+            raise ValueError(f"node {node_id} not in the NAT topology")
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: NodeId) -> None:
+        """Unregister a node: in-flight messages to it will be dropped."""
+        self._handlers.pop(node_id, None)
+
+    def is_attached(self, node_id: NodeId) -> bool:
+        return node_id in self._handlers
+
+    @property
+    def topology(self) -> "NatTopology":
+        return self._topology
+
+    def add_observer(self, observer: LinkObserver) -> None:
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src_node: NodeId,
+        dst: Endpoint,
+        kind: str,
+        payload: object,
+        size_bytes: int,
+        protocol: Protocol = Protocol.UDP,
+        category: str = "other",
+    ) -> None:
+        """Emit one message.  Fire-and-forget: losses are silent, as on UDP.
+
+        A send from a node that already departed (e.g. a mix killed between
+        receiving an onion and its delayed forward) is dropped silently: the
+        dead process cannot emit packets.
+        """
+        now = self._sim.now
+        if not self._topology.knows(src_node):
+            self.stats.filtered += 1
+            return
+        visible_src = self._topology.translate_outbound(src_node, dst, protocol, now)
+        self.stats.sent += 1
+        self.accountant.record(src_node, -1, size_bytes, category)  # upload side
+        if self._latency.is_lost(src_node, self._owner_hint(dst)):
+            self.stats.lost += 1
+            self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
+            return
+        delay = self._latency.delay(src_node, self._owner_hint(dst), size_bytes)
+        message = Message(
+            src=visible_src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            protocol=protocol,
+        )
+        self._sim.schedule(
+            delay, lambda: self._deliver(src_node, message, category)
+        )
+
+    def _deliver(self, src_node: NodeId, message: Message, category: str) -> None:
+        now = self._sim.now
+        owner = self._topology.resolve_inbound(
+            message.dst, message.src, message.protocol, now
+        )
+        if owner is None:
+            self.stats.filtered += 1
+            self._observe(
+                src_node, None, message.src, message.dst, message.kind,
+                message.payload, message.size_bytes,
+            )
+            return
+        handler = self._handlers.get(owner)
+        self._observe(
+            src_node, owner, message.src, message.dst, message.kind,
+            message.payload, message.size_bytes,
+        )
+        if handler is None:
+            self.stats.no_handler += 1
+            return
+        self.stats.delivered += 1
+        self.accountant.record(-1, owner, message.size_bytes, category)
+        handler(message)
+
+    # ------------------------------------------------------------------
+    def _owner_hint(self, dst: Endpoint) -> NodeId:
+        """Best-effort owner guess for latency sampling.
+
+        Latency models key node pairs by id; when the destination endpoint
+        cannot be attributed (departed node) any stable key works, so we hash
+        the host name.
+        """
+        host = dst.host
+        if host.startswith(("pub-", "nat-", "priv-")):
+            try:
+                return int(host.split("-", 1)[1])
+            except ValueError:
+                pass
+        return hash(host) & 0x7FFFFFFF
+
+    def _observe(
+        self,
+        sender: NodeId,
+        receiver: NodeId | None,
+        src: Endpoint,
+        dst: Endpoint,
+        kind: str,
+        payload: object,
+        size_bytes: int,
+    ) -> None:
+        if not self._observers:
+            return
+        packet: ObservedPacket | None = None
+        for observer in self._observers:
+            if observer.wants(sender, receiver):
+                if packet is None:
+                    packet = ObservedPacket(
+                        time=self._sim.now,
+                        sender=sender,
+                        receiver=receiver,
+                        src_endpoint=src,
+                        dst_endpoint=dst,
+                        kind=kind,
+                        payload=payload,
+                        size_bytes=size_bytes,
+                    )
+                observer.record(packet)

@@ -1,0 +1,411 @@
+"""The NAT-resilient gossip peer sampling service (Nylon + WHISPER biases).
+
+Implements the protocol of Section II-B/III-B: age-based *healer* gossip
+over NAT-traversed sessions, with two WHISPER additions switched on by
+configuration — the Π P-node view bias (via the truncation policy) and the
+public key sampling service (keys piggybacked on gossip exchanges).
+
+Protocol sketch, once per cycle (10 s in the paper):
+
+1. ages += 1; partner := oldest entry.
+2. open/reuse a NAT-resilient session to the partner (Nylon machinery);
+   an unreachable partner is evicted — this is the failure detector.
+3. send ``pss.request`` carrying our fresh self-descriptor, a shuffle
+   buffer of view entries (routes extended with ourselves as forwarder) and
+   optionally our public key.
+4. the partner merges, truncates with its policy, replies ``pss.response``
+   built the same way; we merge on reception.
+
+Both sides report the *successful gossip exchange* to registered listeners;
+the WHISPER communication layer feeds its connection backlog (CB) from
+exactly these events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol as TypingProtocol
+
+from ..crypto.provider import PublicKey
+from ..nat.traversal import ConnectionManager, NodeDescriptor
+from ..net.address import NodeId
+from ..net.message import sizes
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask, Timer
+from .policies import HealerPolicy, TruncationPolicy
+from .view import View, ViewEntry
+
+__all__ = ["PeerSamplingService", "PssConfig", "PssStats", "ExchangeListener"]
+
+
+class ExchangeListener(TypingProtocol):
+    """Callback fired on every successful gossip exchange."""
+
+    def __call__(
+        self, peer: NodeDescriptor, key: PublicKey | None, initiated: bool
+    ) -> None: ...
+
+
+@dataclass(frozen=True)
+class PssConfig:
+    """Tunables; defaults are the paper's experimental settings."""
+
+    view_size: int = 10
+    cycle_time: float = 10.0
+    shuffle_size: int = 5  # entries shipped per exchange, besides self
+    exchange_keys: bool = False  # the public key sampling service
+    response_timeout: float = 5.0
+
+
+@dataclass
+class PssStats:
+    """Counters for one PSS instance."""
+
+    cycles: int = 0
+    initiated: int = 0
+    completed: int = 0  # initiated exchanges that got a response
+    received: int = 0  # passive exchanges served
+    contact_failures: int = 0
+    response_timeouts: int = 0
+
+
+class PeerSamplingService:
+    """One node's PSS instance (Fig. 1's "NAT-resilient Peer Sampling Service")."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        cm: ConnectionManager,
+        sim: Simulator,
+        rng: random.Random,
+        config: PssConfig | None = None,
+        policy: TruncationPolicy | None = None,
+        public_key: PublicKey | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.cm = cm
+        self._sim = sim
+        self._rng = rng
+        self.config = config if config is not None else PssConfig()
+        self.policy = (
+            policy if policy is not None else HealerPolicy(self.config.view_size)
+        )
+        self.public_key = public_key
+        if self.config.exchange_keys and public_key is None:
+            raise ValueError("key sampling requires the node's public key")
+        self.view = View(self.config.view_size)
+        self.known_keys: dict[NodeId, PublicKey] = {}
+        self.stats = PssStats()
+        self._listeners: list[ExchangeListener] = []
+        self._failure_listeners: list[Callable[[NodeId], None]] = []
+        # target -> (response timer, the sample we shipped to it)
+        self._pending: dict[NodeId, tuple[Timer, list[ViewEntry]]] = {}
+        self._task: PeriodicTask | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle (the paper's PSS API: init() / getPeer())
+    # ------------------------------------------------------------------
+    def init(self, introducers: list[NodeDescriptor]) -> None:
+        """Bootstrap the view and start gossiping.
+
+        ``introducers`` play the role of the entry points any deployed
+        gossip system needs; natted nodes use the first public introducer
+        for reflexive-endpoint discovery too.
+        """
+        entries = [
+            ViewEntry(descriptor=d, age=0)
+            for d in introducers
+            if d.node_id != self.node_id
+        ]
+        self.view.replace_all(self.policy.truncate(entries))
+        if self.cm.nat_type.is_natted:
+            for descriptor in introducers:
+                if descriptor.is_public:
+                    self.cm.learn_reflexive_via(descriptor)
+                    break
+        phase = self._rng.uniform(0, self.config.cycle_time)
+        self._task = PeriodicTask(
+            self._sim, self.config.cycle_time, self._cycle, initial_delay=phase
+        )
+
+    def stop(self) -> None:
+        """Stop gossiping and cancel pending response timers."""
+        if self._task is not None:
+            self._task.stop()
+        for timer, _sent in self._pending.values():
+            timer.cancel()
+        self._pending.clear()
+
+    def get_peer(self) -> NodeDescriptor | None:
+        """The PSS sampling primitive: a (quasi-)uniform random live peer."""
+        entry = self.view.random_entry(self._rng)
+        return entry.descriptor if entry is not None else None
+
+    def add_exchange_listener(self, listener: ExchangeListener) -> None:
+        """Subscribe to successful gossip exchanges (feeds the WCL's CB)."""
+        self._listeners.append(listener)
+
+    def add_failure_listener(self, listener: Callable[[NodeId], None]) -> None:
+        """Notified with the node id whenever the PSS failure detector
+        gives up on a partner (unreachable or unresponsive) — the WCL
+        evicts such nodes from its connection backlog."""
+        self._failure_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # active thread
+    # ------------------------------------------------------------------
+    def _cycle(self) -> None:
+        self.stats.cycles += 1
+        self.view.increment_ages()
+        partner = self.view.oldest()
+        if partner is None:
+            return
+        self.stats.initiated += 1
+        target = partner.node_id
+        # Shuffling semantics [19]: the selected (oldest) partner leaves the
+        # view now; it re-enters only through future exchanges.  This is the
+        # mechanism that keeps in-degrees balanced — a node's presence in
+        # views is consumed by being contacted.
+        self.view.remove(target)
+        self.cm.ensure_session(
+            partner.descriptor,
+            on_ready=lambda: self._send_request(target),
+            on_fail=lambda reason: self._contact_failed(target),
+        )
+
+    def _contact_failed(self, target: NodeId) -> None:
+        self.stats.contact_failures += 1
+        self.view.remove(target)
+        for listener in self._failure_listeners:
+            listener(target)
+
+    def _send_request(self, target: NodeId) -> None:
+        sample = self.view.sample(self._rng, self.config.shuffle_size)
+        body = {
+            "sender": self.cm.descriptor(),
+            "buffer": self._shipped(sample, include_self=True),
+            "key": self.public_key if self.config.exchange_keys else None,
+        }
+        if not self.cm.send_via_session(
+            target, "pss.request", body, self._message_size(body), "pss"
+        ):
+            self._contact_failed(target)
+            return
+        timer = Timer(self._sim, lambda: self._response_timeout(target))
+        timer.start(self.config.response_timeout)
+        self._pending[target] = (timer, sample)
+
+    def _response_timeout(self, target: NodeId) -> None:
+        self._pending.pop(target, None)
+        self.stats.response_timeouts += 1
+        self.view.remove(target)
+        self.cm.drop_session(target)
+        for listener in self._failure_listeners:
+            listener(target)
+
+    # ------------------------------------------------------------------
+    # passive thread
+    # ------------------------------------------------------------------
+    def handle_message(self, peer: NodeId, kind: str, body: dict) -> None:
+        """Entry point for ``pss.*`` payloads arriving over sessions."""
+        if kind == "pss.request":
+            self._on_request(peer, body)
+        elif kind == "pss.response":
+            self._on_response(peer, body)
+
+    def _on_request(self, peer: NodeId, body: dict) -> None:
+        self.stats.received += 1
+        sample = self.view.sample(self._rng, self.config.shuffle_size)
+        response = {
+            "sender": self.cm.descriptor(),
+            # The passive side does not insert itself (shuffling [19]): per
+            # exchange the initiator gains exactly one placement, keeping
+            # copy counts — hence in-degrees — balanced.
+            "buffer": self._shipped(sample, include_self=False),
+            "key": self.public_key if self.config.exchange_keys else None,
+        }
+        self._merge(body["buffer"], body["sender"], sent=sample)
+        self._record_exchange(body["sender"], body.get("key"), initiated=False)
+        self.cm.send_via_session(
+            peer, "pss.response", response, self._message_size(response), "pss"
+        )
+
+    def _on_response(self, peer: NodeId, body: dict) -> None:
+        pending = self._pending.pop(peer, None)
+        sent: list[ViewEntry] = []
+        if pending is not None:
+            timer, sent = pending
+            timer.cancel()
+        self.stats.completed += 1
+        self._merge(body["buffer"], body["sender"], sent=sent)
+        self._record_exchange(body["sender"], body.get("key"), initiated=True)
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _shipped(
+        self, sample: list[ViewEntry], include_self: bool
+    ) -> list[ViewEntry]:
+        """Entries as sent on the wire: routes extended via us, self first."""
+        shipped = [entry.via(self.node_id) for entry in sample]
+        if include_self:
+            own = ViewEntry(descriptor=self.cm.descriptor(), age=0)
+            shipped = [own] + shipped[: max(self.config.shuffle_size - 1, 0)]
+        return shipped
+
+    def _merge(
+        self,
+        received: list[ViewEntry],
+        sender: NodeDescriptor,
+        sent: list[ViewEntry],
+    ) -> None:
+        """Cyclon-style merge with the healer's freshest-wins duplicates.
+
+        Received entries (the sender's fresh self-descriptor is treated as
+        one of them on the passive side) fill empty view slots first, then
+        replace the entries we shipped to the partner, then — healing — the
+        oldest remaining entries.  Afterwards the WHISPER bias re-instates
+        the Pi P-node floor from the union of everything seen.
+        """
+        incoming = [self._compress_route(e) for e in received]
+        incoming.append(ViewEntry(descriptor=sender, age=0))
+        replaceable = [e.node_id for e in sent if e.node_id in self.view]
+        evicted: dict[NodeId, ViewEntry] = {}
+        for entry in sorted(incoming, key=lambda e: (e.age, e.node_id)):
+            if entry.node_id == self.node_id:
+                continue
+            if entry.descriptor.route_too_long():
+                continue
+            current = self.view.get(entry.node_id)
+            if current is not None:
+                if entry.age < current.age:
+                    self._view_put(entry)
+                continue
+            if len(self.view) < self.view.capacity:
+                self._view_put(entry)
+            elif replaceable:
+                victim = replaceable.pop(0)
+                removed = self.view.get(victim)
+                if removed is not None:
+                    evicted[victim] = removed
+                self.view.remove(victim)
+                self._view_put(entry)
+            else:
+                oldest = self.view.oldest()
+                if oldest is not None and oldest.age > entry.age:
+                    evicted[oldest.node_id] = oldest
+                    self.view.remove(oldest.node_id)
+                    self._view_put(entry)
+        self._enforce_public_floor(incoming, evicted)
+        self._enforce_public_cap(incoming, evicted)
+
+    def _compress_route(self, entry: ViewEntry) -> ViewEntry:
+        """Drop the rendezvous chain when we can reach the node ourselves.
+
+        Nylon keeps reachability as node-local state: a node that holds an
+        open (NAT-traversed) session to B does not need the forwarding chain
+        an entry travelled with.  Compression keeps routes short and stops
+        natted entries from attriting at the route-length cap as they
+        circulate — P-node entries never grow routes, so without this the
+        overlay would slowly skew public.
+        """
+        descriptor = entry.descriptor
+        if descriptor.is_public or not descriptor.route:
+            return entry
+        if self.cm.has_session(descriptor.node_id):
+            return ViewEntry(
+                descriptor=dataclasses.replace(descriptor, route=()),
+                age=entry.age,
+            )
+        return entry
+
+    def _enforce_public_cap(
+        self, incoming: list[ViewEntry], evicted: dict[NodeId, ViewEntry]
+    ) -> None:
+        """Aggressive load-limiting variant (ablation): P-nodes above the Pi
+        freshest are swapped back out for N-node candidates when available,
+        capping P-node view presence near Pi."""
+        pi = getattr(self.policy, "pi", 0)
+        if not getattr(self.policy, "cap_public", False) or pi <= 0:
+            return
+        publics = sorted(
+            self.view.public_entries(), key=lambda e: (e.age, e.node_id)
+        )
+        surplus = publics[pi:]
+        if not surplus:
+            return
+        pool: dict[NodeId, ViewEntry] = {}
+        for entry in list(evicted.values()) + list(incoming):
+            if entry.is_public or entry.node_id == self.node_id:
+                continue
+            if entry.node_id in self.view or entry.descriptor.route_too_long():
+                continue
+            current = pool.get(entry.node_id)
+            if current is None or entry.age < current.age:
+                pool[entry.node_id] = entry
+        replacements = sorted(pool.values(), key=lambda e: (e.age, e.node_id))
+        # Oldest surplus P-nodes go first.
+        for victim in reversed(surplus):
+            if not replacements:
+                break
+            self.view.remove(victim.node_id)
+            self._view_put(replacements.pop(0))
+
+    def _view_put(self, entry: ViewEntry) -> None:
+        entries = {e.node_id: e for e in self.view.entries()}
+        entries[entry.node_id] = entry
+        self.view.replace_all(list(entries.values()))
+
+    def _enforce_public_floor(
+        self, incoming: list[ViewEntry], evicted: dict[NodeId, ViewEntry]
+    ) -> None:
+        """Section III-B-1: keep at least Pi P-nodes in the view, using the
+        freshest P-node candidates from the view and the received entries."""
+        pi = getattr(self.policy, "pi", 0)
+        if pi <= 0:
+            return
+        deficit = pi - self.view.count_public()
+        if deficit <= 0:
+            return
+        pool: dict[NodeId, ViewEntry] = {}
+        for entry in list(evicted.values()) + list(incoming):
+            if not entry.is_public or entry.node_id == self.node_id:
+                continue
+            if entry.node_id in self.view:
+                continue
+            current = pool.get(entry.node_id)
+            if current is None or entry.age < current.age:
+                pool[entry.node_id] = entry
+        candidates = sorted(pool.values(), key=lambda e: (e.age, e.node_id))
+        for candidate in candidates[:deficit]:
+            if len(self.view) >= self.view.capacity:
+                victims = [e for e in self.view.entries() if not e.is_public]
+                if not victims:
+                    break
+                victim = max(victims, key=lambda e: (e.age, e.node_id))
+                self.view.remove(victim.node_id)
+            self._view_put(candidate)
+
+    def _record_exchange(
+        self, peer: NodeDescriptor, key: PublicKey | None, initiated: bool
+    ) -> None:
+        if key is not None:
+            self.known_keys[peer.node_id] = key
+            self._trim_known_keys()
+        for listener in self._listeners:
+            listener(peer, key, initiated)
+
+    def _trim_known_keys(self) -> None:
+        """Bound the key store: old partners' keys age out with the CB."""
+        limit = 4 * self.config.view_size
+        while len(self.known_keys) > limit:
+            oldest = next(iter(self.known_keys))
+            del self.known_keys[oldest]
+
+    def _message_size(self, body: dict) -> int:
+        size = sizes.gossip_header + len(body["buffer"]) * sizes.view_entry
+        if body["key"] is not None:
+            size += sizes.public_key
+        return size

@@ -1,0 +1,142 @@
+"""View truncation policies: the healer strategy and WHISPER's biased variant.
+
+Section II-B of the paper adopts the *healer* strategy of the peer-sampling
+framework [18]: the exchange partner is the oldest entry, and after an
+exchange the view keeps fresh entries.  Following [18], healing is bounded:
+at most ``heal`` (default c/2) of the oldest entries are replaced per
+exchange and any remaining excess is dropped uniformly at random —
+unbounded healing (always keeping the c globally-freshest) lets
+well-connected nodes flood views with age-0 self-copies and produces the
+hub-and-spoke in-degree imbalance random-graph-like overlays must avoid.
+
+WHISPER biases this selection (Section III-B-1): at least Π P-nodes must
+survive truncation — the Π *freshest* P-node candidates are force-kept, so
+"the oldest P-nodes above the Π threshold" are discarded in priority among
+P-nodes, while competing like everyone else against N-nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from .view import ViewEntry
+
+__all__ = [
+    "TruncationPolicy",
+    "HealerPolicy",
+    "BiasedHealerPolicy",
+    "AggressiveBiasedPolicy",
+]
+
+
+def _by_age(entries: list[ViewEntry]) -> list[ViewEntry]:
+    """Freshest first; node id as a deterministic tie-break."""
+    return sorted(entries, key=lambda e: (e.age, e.node_id))
+
+
+class TruncationPolicy(ABC):
+    """Selects which candidates survive after a view exchange."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    @abstractmethod
+    def truncate(self, candidates: list[ViewEntry]) -> list[ViewEntry]:
+        """Return at most ``capacity`` entries from the candidate pool."""
+
+
+class HealerPolicy(TruncationPolicy):
+    """Bounded healing: drop the ``heal`` oldest, then random excess."""
+
+    def __init__(
+        self,
+        capacity: int,
+        heal: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(capacity)
+        self.heal = heal if heal is not None else max(1, capacity // 2)
+        self._rng = rng
+
+    def truncate(self, candidates: list[ViewEntry]) -> list[ViewEntry]:
+        return self._heal_select(candidates, self.capacity)
+
+    def _heal_select(
+        self, candidates: list[ViewEntry], capacity: int
+    ) -> list[ViewEntry]:
+        excess = len(candidates) - capacity
+        if excess <= 0:
+            return list(candidates)
+        ordered = _by_age(candidates)
+        drop_oldest = min(self.heal, excess)
+        kept = ordered[: len(ordered) - drop_oldest]
+        excess -= drop_oldest
+        if excess > 0:
+            if self._rng is not None:
+                self._rng.shuffle(kept)
+                kept = kept[: len(kept) - excess]
+            else:
+                # Deterministic fallback (unit tests without an RNG).
+                kept = kept[: len(kept) - excess]
+        return kept
+
+
+class BiasedHealerPolicy(HealerPolicy):
+    """Healer with the Π P-node availability bias (Section III-B-1)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        pi: int,
+        heal: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(capacity, heal=heal, rng=rng)
+        if pi < 0:
+            raise ValueError(f"pi must be >= 0, got {pi}")
+        if pi > capacity:
+            raise ValueError(f"pi ({pi}) cannot exceed the view size ({capacity})")
+        self.pi = pi
+
+    def truncate(self, candidates: list[ViewEntry]) -> list[ViewEntry]:
+        if self.pi == 0:
+            return self._heal_select(candidates, self.capacity)
+        # Guarantee the Π freshest P-node candidates; older P-nodes above
+        # the threshold compete (and are discarded) like ordinary entries.
+        public = _by_age([e for e in candidates if e.is_public])
+        guaranteed = public[: self.pi]
+        guaranteed_ids = {e.node_id for e in guaranteed}
+        rest = [e for e in candidates if e.node_id not in guaranteed_ids]
+        kept = self._heal_select(rest, self.capacity - len(guaranteed))
+        return guaranteed + kept
+
+
+class AggressiveBiasedPolicy(BiasedHealerPolicy):
+    """Ablation variant: evict *all* surplus P-nodes before any N-node.
+
+    Caps P-node view presence near Π under truncation pressure — stronger
+    load limiting than the paper's Fig. 5 exhibits; kept as a knob for the
+    load-imbalance ablation bench.  The ``cap_public`` marker makes the
+    gossip merge apply the cap (truncate() only runs at bootstrap).
+    """
+
+    cap_public = True
+
+    def truncate(self, candidates: list[ViewEntry]) -> list[ViewEntry]:
+        if self.pi == 0:
+            return self._heal_select(candidates, self.capacity)
+        public = _by_age([e for e in candidates if e.is_public])
+        others = _by_age([e for e in candidates if not e.is_public])
+        guaranteed = public[: self.pi]
+        surplus_public = public[self.pi :]
+        need_drop = len(candidates) - self.capacity
+        if need_drop <= 0:
+            return guaranteed + surplus_public + others
+        dropped = min(need_drop, len(surplus_public))
+        surplus_public = surplus_public[: len(surplus_public) - dropped]
+        need_drop -= dropped
+        rest = _by_age(surplus_public + others)
+        if need_drop > 0:
+            rest = rest[: len(rest) - need_drop]
+        return guaranteed + rest

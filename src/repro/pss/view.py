@@ -1,0 +1,130 @@
+"""Partial views: the core data structure of a peer sampling service.
+
+A view is a small set of :class:`ViewEntry` (descriptor + age).  Ages count
+gossip cycles since the pointed-to node inserted itself (age 0); they drive
+both partner selection (oldest first, the *healer* strategy) and merge
+decisions (keep freshest).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..nat.traversal import NodeDescriptor
+from ..net.address import NodeId, NodeKind
+
+__all__ = ["ViewEntry", "View"]
+
+
+@dataclass(frozen=True, slots=True)
+class ViewEntry:
+    """One view slot: who, how to reach them, and how stale the info is."""
+
+    descriptor: NodeDescriptor
+    age: int = 0
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.descriptor.node_id
+
+    @property
+    def is_public(self) -> bool:
+        return self.descriptor.kind is NodeKind.PUBLIC
+
+    def aged(self) -> "ViewEntry":
+        return replace(self, age=self.age + 1)
+
+    def via(self, forwarder: NodeId) -> "ViewEntry":
+        """Entry as shipped to a gossip partner (route extended)."""
+        return replace(self, descriptor=self.descriptor.via(forwarder))
+
+
+class View:
+    """A bounded, deduplicated set of view entries.
+
+    Mutation goes through :meth:`merge` (with a truncation policy applied by
+    the caller) and the small helpers below; iteration order is insertion
+    order, which keeps runs deterministic.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"view capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[NodeId, ViewEntry] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._entries
+
+    def entries(self) -> list[ViewEntry]:
+        return list(self._entries.values())
+
+    def node_ids(self) -> list[NodeId]:
+        return list(self._entries.keys())
+
+    def get(self, node_id: NodeId) -> ViewEntry | None:
+        return self._entries.get(node_id)
+
+    def public_entries(self) -> list[ViewEntry]:
+        return [e for e in self._entries.values() if e.is_public]
+
+    def count_public(self) -> int:
+        return sum(1 for e in self._entries.values() if e.is_public)
+
+    # ------------------------------------------------------------------
+    def oldest(self) -> ViewEntry | None:
+        """Highest-age entry — the healer strategy's exchange partner."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda e: (e.age, e.node_id))
+
+    def random_entry(self, rng: random.Random) -> ViewEntry | None:
+        if not self._entries:
+            return None
+        return rng.choice(list(self._entries.values()))
+
+    def sample(self, rng: random.Random, k: int) -> list[ViewEntry]:
+        entries = list(self._entries.values())
+        if k >= len(entries):
+            return entries
+        return rng.sample(entries, k)
+
+    # ------------------------------------------------------------------
+    def increment_ages(self) -> None:
+        """One cycle passed: every entry gets older."""
+        self._entries = {nid: e.aged() for nid, e in self._entries.items()}
+
+    def remove(self, node_id: NodeId) -> None:
+        self._entries.pop(node_id, None)
+
+    def replace_all(self, entries: list[ViewEntry]) -> None:
+        """Install a post-truncation entry list (must fit the capacity)."""
+        if len(entries) > self.capacity:
+            raise ValueError(
+                f"{len(entries)} entries exceed view capacity {self.capacity}"
+            )
+        self._entries = {e.node_id: e for e in entries}
+
+    @staticmethod
+    def merge_candidates(
+        own: list[ViewEntry], received: list[ViewEntry], self_id: NodeId
+    ) -> list[ViewEntry]:
+        """Union of two entry lists: dedup by node, keep the freshest, drop self.
+
+        This is the raw candidate pool handed to a truncation policy.
+        """
+        best: dict[NodeId, ViewEntry] = {}
+        for entry in list(own) + list(received):
+            if entry.node_id == self_id:
+                continue
+            if entry.descriptor.route_too_long():
+                continue
+            current = best.get(entry.node_id)
+            if current is None or entry.age < current.age:
+                best[entry.node_id] = entry
+        return list(best.values())

@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate (replaces the paper's SPLAY deployment)."""
+
+from .engine import Event, SimulationError, Simulator
+from .process import PeriodicTask, Timer
+from .rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "PeriodicTask",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,162 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate replacing the SPLAY deployment framework used by
+the WHISPER paper: every protocol layer (Nylon PSS, WCL, PPSS, T-Chord) is
+driven by events scheduled on a single simulated clock.  Determinism is a
+design goal — given the same seed, a simulation replays identically, which
+makes experiments and tests reproducible.
+
+Events fire in (time, priority, sequence) order.  The sequence number breaks
+ties deterministically: two events scheduled for the same instant fire in
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are totally ordered by ``(time, priority, seq)`` so the run is
+    deterministic.  ``cancelled`` events stay in the heap but are skipped when
+    popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will not fire."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler with a simulated clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("at t=10"))
+        sim.run(until=60.0)
+
+    Time is expressed in seconds (floats).  The simulator never advances past
+    the time of the last event unless ``run(until=...)`` asks it to.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.  A negative delay
+        is an error: the simulated past is immutable.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        When ``until`` is given the clock is advanced to exactly ``until`` at
+        the end of the run even if the last event fired earlier — matching the
+        intuition of "simulate one hour".
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _peek(self) -> Event | None:
+        """Return the next live event without popping it."""
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return event
+        return None

@@ -1,0 +1,100 @@
+"""Periodic processes on top of the event engine.
+
+Gossip protocols are cycle-driven: every node runs an "active thread" that
+wakes up once per cycle (PSS: 10 s, PPSS: 60 s in the paper).  The
+:class:`PeriodicTask` helper encapsulates that pattern, including the random
+initial phase used to de-synchronize nodes (without it, every node would
+gossip at the exact same instant — an artifact real deployments do not have).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .engine import Event, Simulator
+
+__all__ = ["PeriodicTask", "Timer"]
+
+
+class PeriodicTask:
+    """Invoke a callback every ``period`` seconds until stopped.
+
+    The first invocation happens after ``initial_delay`` (commonly a random
+    phase in ``[0, period)``).  Stopping is idempotent and takes effect
+    immediately: a pending tick is cancelled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        initial_delay: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._event: Event | None = None
+        self._stopped = False
+        self._ticks = 0
+        delay = period if initial_delay is None else initial_delay
+        self._event = sim.schedule(delay, self._fire)
+
+    @property
+    def ticks(self) -> int:
+        """Number of completed invocations."""
+        return self._ticks
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Stop the task; any pending tick is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._ticks += 1
+        # Schedule the next tick before running the callback so a callback
+        # that raises does not silently kill the task's cadence in tests
+        # that catch the exception.
+        self._event = self._sim.schedule(self._period, self._fire)
+        self._callback()
+
+
+class Timer:
+    """A one-shot timer that can be rescheduled or cancelled.
+
+    Used for timeouts (e.g. WCL path construction retry timers).  Restarting
+    an armed timer cancels the previous deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,141 @@
+"""Unit and property tests for Chord ring arithmetic and structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.chord import (
+    ID_SPACE,
+    FingerTable,
+    RingNeighbours,
+    RingPeer,
+    chord_id,
+    distance_cw,
+    in_interval,
+    key_id,
+)
+
+ids = st.integers(0, ID_SPACE - 1)
+
+
+class TestRingArithmetic:
+    def test_distance_cw_basics(self):
+        assert distance_cw(10, 20) == 10
+        assert distance_cw(20, 10) == ID_SPACE - 10
+        assert distance_cw(5, 5) == 0
+
+    def test_in_interval_simple(self):
+        assert in_interval(15, 10, 20)
+        assert not in_interval(5, 10, 20)
+        assert in_interval(20, 10, 20)  # right-inclusive
+        assert not in_interval(10, 10, 20)  # left-exclusive
+
+    def test_in_interval_wrapping(self):
+        left, right = ID_SPACE - 10, 10
+        assert in_interval(ID_SPACE - 5, left, right)
+        assert in_interval(5, left, right)
+        assert not in_interval(ID_SPACE // 2, left, right)
+
+    def test_in_interval_exclusive_right(self):
+        assert not in_interval(20, 10, 20, inclusive_right=False)
+
+    def test_chord_id_deterministic_and_spread(self):
+        assert chord_id(5) == chord_id(5)
+        values = {chord_id(i) for i in range(100)}
+        assert len(values) == 100  # no collisions on a small population
+
+    def test_key_id_differs_from_chord_id_space_use(self):
+        assert 0 <= key_id("hello") < ID_SPACE
+
+    @settings(max_examples=80, deadline=None)
+    @given(x=ids, left=ids, right=ids)
+    def test_interval_partition_property(self, x, left, right):
+        """Any x != left is either in (left, right] or in (right, left]."""
+        if left == right or x == left or x == right:
+            return
+        a = in_interval(x, left, right)
+        b = in_interval(x, right, left)
+        assert a != b
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=ids, b=ids)
+    def test_distance_antisymmetry(self, a, b):
+        if a != b:
+            assert distance_cw(a, b) + distance_cw(b, a) == ID_SPACE
+
+
+def peers(*ring_ids):
+    return [RingPeer(node_id=i, ring_id=r) for i, r in enumerate(ring_ids)]
+
+
+class TestRingNeighbours:
+    def test_best_successor(self):
+        me = RingNeighbours(100)
+        candidates = peers(50, 150, 300)
+        assert me.best_successor(candidates).ring_id == 150
+
+    def test_best_successor_wraps(self):
+        me = RingNeighbours(ID_SPACE - 5)
+        candidates = peers(10, 100)
+        assert me.best_successor(candidates).ring_id == 10
+
+    def test_best_predecessor(self):
+        me = RingNeighbours(100)
+        candidates = peers(50, 150, 90)
+        assert me.best_predecessor(candidates).ring_id == 90
+
+    def test_no_candidates(self):
+        me = RingNeighbours(100)
+        assert me.best_successor([]) is None
+        assert me.best_predecessor(peers(100)) is None
+
+    def test_successor_list_ordering(self):
+        me = RingNeighbours(0)
+        result = me.successor_list(peers(300, 100, 200), k=2)
+        assert [p.ring_id for p in result] == [100, 200]
+
+
+class TestFingerTable:
+    def test_consider_improves_fingers(self):
+        table = FingerTable(own_ring_id=0)
+        close = RingPeer(node_id=1, ring_id=10)
+        far = RingPeer(node_id=2, ring_id=ID_SPACE // 2 + 1)
+        table.consider(close)
+        table.consider(far)
+        known = {p.node_id for p in table.known_peers()}
+        assert known == {1, 2}
+        # The far peer must own the top finger (target = half the ring).
+        top_index = max(table.fingers)
+        assert table.fingers[top_index].node_id == 2
+
+    def test_closest_preceding(self):
+        table = FingerTable(own_ring_id=0)
+        for node_id, ring_id in ((1, 100), (2, 1000), (3, ID_SPACE // 2)):
+            table.consider(RingPeer(node_id=node_id, ring_id=ring_id))
+        hop = table.closest_preceding(2000)
+        assert hop.node_id == 2  # 1000 is the closest before 2000
+
+    def test_closest_preceding_none_when_empty(self):
+        assert FingerTable(own_ring_id=0).closest_preceding(5) is None
+
+    def test_drop(self):
+        table = FingerTable(own_ring_id=0)
+        table.consider(RingPeer(node_id=1, ring_id=10))
+        table.drop(1)
+        assert table.known_peers() == []
+
+    def test_self_never_considered(self):
+        table = FingerTable(own_ring_id=42)
+        table.consider(RingPeer(node_id=9, ring_id=42))
+        assert table.known_peers() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(ids, min_size=1, max_size=20, unique=True), ids)
+    def test_closest_preceding_property(self, ring_ids, key):
+        """closest_preceding always lands strictly inside (own, key)."""
+        own = 0
+        table = FingerTable(own_ring_id=own)
+        for i, r in enumerate(ring_ids):
+            table.consider(RingPeer(node_id=i + 1, ring_id=r))
+        hop = table.closest_preceding(key)
+        if hop is not None:
+            assert in_interval(hop.ring_id, own, key, inclusive_right=False)

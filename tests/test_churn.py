@@ -1,0 +1,151 @@
+"""Tests for the churn script parser and driver."""
+
+import pytest
+
+from repro.churn import (
+    ChurnDriver,
+    ChurnScriptError,
+    ConstChurn,
+    JoinRamp,
+    SetReplacementRatio,
+    StopAt,
+    parse_script,
+)
+from repro.harness import World, WorldConfig
+
+PAPER_SCRIPT = """
+# The Table I script, X = 1%
+from 0s to 30s join 1000
+at 300s set replacement ratio to 100%
+from 300s to 1200s const churn 1% each 60s
+at 1200s stop
+"""
+
+
+class TestParser:
+    def test_paper_script_parses(self):
+        directives = parse_script(PAPER_SCRIPT)
+        assert directives == [
+            JoinRamp(0.0, 30.0, 1000),
+            SetReplacementRatio(300.0, 1.0),
+            ConstChurn(300.0, 1200.0, 0.01, 60.0),
+            StopAt(1200.0),
+        ]
+
+    def test_comments_and_blanks_ignored(self):
+        directives = parse_script("# nothing\n\nat 5s stop\n")
+        assert directives == [StopAt(5.0)]
+
+    def test_case_insensitive(self):
+        assert parse_script("AT 5s STOP") == [StopAt(5.0)]
+
+    def test_fractional_values(self):
+        [churn] = parse_script("from 0s to 10s const churn 0.2% each 60s")
+        assert churn.percent == pytest.approx(0.002)
+
+    def test_bad_line_raises(self):
+        with pytest.raises(ChurnScriptError):
+            parse_script("churn everything now please")
+
+    def test_partial_match_raises(self):
+        with pytest.raises(ChurnScriptError):
+            parse_script("from 0s to 30s join many")
+
+
+class TestDriver:
+    def test_join_ramp_spawns_nodes(self):
+        world = World(WorldConfig(seed=61))
+        ChurnDriver(world, parse_script("from 0s to 30s join 50"))
+        world.run(60.0)
+        assert len(world.alive_nodes()) == 50
+
+    def test_join_ramp_spread_over_window(self):
+        world = World(WorldConfig(seed=61))
+        ChurnDriver(world, parse_script("from 0s to 100s join 10"))
+        world.run(49.0)
+        mid = len(world.alive_nodes())
+        world.run(60.0)
+        assert 3 <= mid <= 7
+        assert len(world.alive_nodes()) == 10
+
+    def test_const_churn_replaces_population(self):
+        world = World(WorldConfig(seed=62))
+        world.populate(100)
+        world.start_all()
+        world.run(50.0)
+        script = "from 60s to 240s const churn 10% each 60s"
+        driver = ChurnDriver(world, parse_script(script))
+        world.run(250.0)
+        assert driver.stats.churn_events == 3
+        assert driver.stats.killed == pytest.approx(30, abs=3)
+        assert driver.stats.joined == driver.stats.killed  # 100% replacement
+        assert len(world.alive_nodes()) == pytest.approx(100, abs=3)
+
+    def test_replacement_ratio_zero_shrinks(self):
+        world = World(WorldConfig(seed=63))
+        world.populate(50)
+        world.start_all()
+        script = (
+            "at 0s set replacement ratio to 0%\n"
+            "from 10s to 130s const churn 10% each 60s"
+        )
+        driver = ChurnDriver(world, parse_script(script))
+        world.run(140.0)
+        assert driver.stats.joined == 0
+        assert len(world.alive_nodes()) < 50
+
+    def test_stop_halts_churn(self):
+        world = World(WorldConfig(seed=64))
+        world.populate(50)
+        world.start_all()
+        script = (
+            "at 30s stop\n"
+            "from 10s to 600s const churn 10% each 60s"
+        )
+        driver = ChurnDriver(world, parse_script(script))
+        world.run(400.0)
+        assert driver.stats.churn_events <= 1  # only the t=10s event fires
+
+    def test_protected_nodes_survive(self):
+        world = World(WorldConfig(seed=65))
+        world.populate(30)
+        world.start_all()
+        protected = {n.node_id for n in world.alive_nodes()[:5]}
+        script = "from 10s to 310s const churn 20% each 60s"
+        ChurnDriver(world, parse_script(script), protected=protected)
+        world.run(320.0)
+        alive = {n.node_id for n in world.alive_nodes()}
+        assert protected <= alive
+
+    def test_hooks_invoked(self):
+        world = World(WorldConfig(seed=66))
+        world.populate(30)
+        world.start_all()
+        joined, killed = [], []
+        ChurnDriver(
+            world,
+            parse_script("from 10s to 70s const churn 10% each 60s"),
+            on_join=lambda node: joined.append(node.node_id),
+            on_kill=killed.append,
+        )
+        world.run(80.0)
+        assert len(killed) == len(joined) > 0
+
+    def test_overlay_survives_heavy_churn(self):
+        """End-to-end: 10%/min churn, the PSS stays connected (Table I's
+        most hostile setting)."""
+        world = World(WorldConfig(seed=67))
+        world.populate(100)
+        world.start_all()
+        world.run(100.0)
+        script = (
+            "at 100s set replacement ratio to 100%\n"
+            "from 100s to 400s const churn 10% each 60s"
+        )
+        ChurnDriver(world, parse_script(script))
+        world.run(350.0)
+        alive = world.alive_nodes()
+        assert len(alive) == pytest.approx(100, abs=5)
+        # Nodes that lived through the churn keep full, P-node-rich views.
+        filled = [n for n in alive if len(n.pss.view) >= 8]
+        assert len(filled) > 0.8 * len(alive)

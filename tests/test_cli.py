@@ -1,0 +1,29 @@
+"""Tests for the experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure-42"])
+
+    def test_runs_fig9_tiny(self, capsys):
+        assert main(["fig9", "--scale", "0.15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "T-Chord routing delays" in out
+        assert "queries completed" in out
+
+    def test_scale_flag_parsed(self, capsys):
+        # The ablation runner accepts scale; tiny run must succeed.
+        assert main(["ablation-policy", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "truncation policy" in out

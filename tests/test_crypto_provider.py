@@ -1,0 +1,149 @@
+"""Tests for the crypto provider interface (real + simulated) and cost model."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    CostModel,
+    CpuAccountant,
+    CryptoError,
+    RealCryptoProvider,
+    SimCryptoProvider,
+)
+
+
+@pytest.fixture(params=["real", "sim"])
+def provider(request):
+    rng = random.Random(7)
+    if request.param == "real":
+        return RealCryptoProvider(rng, key_bits=512)
+    return SimCryptoProvider(rng)
+
+
+class TestProviderContract:
+    """Behavioural contract both providers must honour identically."""
+
+    def test_seal_open_roundtrip(self, provider):
+        pair = provider.generate_keypair()
+        obj = {"next": 42, "key": b"abc", "nested": [1, 2, 3]}
+        sealed = provider.seal(pair.public, obj)
+        assert provider.open(pair, sealed) == obj
+
+    def test_open_with_wrong_key_raises(self, provider):
+        pair = provider.generate_keypair()
+        other = provider.generate_keypair()
+        sealed = provider.seal(pair.public, "secret")
+        with pytest.raises(CryptoError):
+            provider.open(other, sealed)
+
+    def test_sealed_box_has_positive_size(self, provider):
+        pair = provider.generate_keypair()
+        sealed = provider.seal(pair.public, "payload")
+        assert sealed.size_bytes > 0
+
+    def test_payload_roundtrip(self, provider):
+        key = provider.new_symmetric_key()
+        obj = {"entries": list(range(20))}
+        enc = provider.encrypt_payload(key, obj, size_hint=2048)
+        assert provider.decrypt_payload(key, enc) == obj
+
+    def test_payload_wrong_key_raises(self, provider):
+        key = provider.new_symmetric_key()
+        other = provider.new_symmetric_key()
+        enc = provider.encrypt_payload(key, "body", size_hint=128)
+        with pytest.raises(CryptoError):
+            provider.decrypt_payload(other, enc)
+
+    def test_sign_verify(self, provider):
+        pair = provider.generate_keypair()
+        signature = provider.sign(pair, ("passport", 17))
+        assert provider.verify(pair.public, ("passport", 17), signature)
+
+    def test_verify_rejects_tampered_object(self, provider):
+        pair = provider.generate_keypair()
+        signature = provider.sign(pair, ("passport", 17))
+        assert not provider.verify(pair.public, ("passport", 18), signature)
+
+    def test_verify_rejects_wrong_key(self, provider):
+        pair = provider.generate_keypair()
+        other = provider.generate_keypair()
+        signature = provider.sign(pair, "obj")
+        assert not provider.verify(other.public, "obj", signature)
+
+    def test_keypairs_are_distinct(self, provider):
+        a = provider.generate_keypair()
+        b = provider.generate_keypair()
+        assert a.public.fingerprint != b.public.fingerprint
+
+    def test_symmetric_keys_are_random(self, provider):
+        assert provider.new_symmetric_key() != provider.new_symmetric_key()
+
+
+class TestRealProviderOnly:
+    def test_ciphertext_does_not_contain_plaintext(self):
+        provider = RealCryptoProvider(random.Random(7), key_bits=512)
+        pair = provider.generate_keypair()
+        secret = "the private group membership list"
+        sealed = provider.seal(pair.public, secret)
+        wrapped, ciphertext = sealed.blob
+        assert secret.encode() not in wrapped
+        assert secret.encode() not in ciphertext
+
+    def test_fast_stream_mode_roundtrips(self):
+        provider = RealCryptoProvider(random.Random(7), key_bits=512, use_aes=False)
+        pair = provider.generate_keypair()
+        sealed = provider.seal(pair.public, [1, 2, 3])
+        assert provider.open(pair, sealed) == [1, 2, 3]
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            RealCryptoProvider(random.Random(7), key_bits=128)
+
+
+class TestCostAccounting:
+    def test_operations_charge_the_acting_node(self):
+        accountant = CpuAccountant()
+        provider = SimCryptoProvider(random.Random(7), accountant)
+        pair = provider.generate_keypair()
+        sealed = provider.seal(pair.public, "x", node=5, context="wcl.request")
+        provider.open(pair, sealed, node=9, context="wcl.request")
+        assert accountant.node_total_ms(5, "rsa_encrypt") > 0
+        assert accountant.node_total_ms(9, "rsa_decrypt") > 0
+        assert accountant.node_total_ms(5, "rsa_decrypt") == 0
+
+    def test_context_breakdown(self):
+        accountant = CpuAccountant()
+        provider = SimCryptoProvider(random.Random(7), accountant)
+        pair = provider.generate_keypair()
+        provider.seal(pair.public, "x", node=1, context="wcl.request")
+        provider.seal(pair.public, "y", node=1, context="wcl.response")
+        assert accountant.node_context_ms(1, "wcl.request") > 0
+        assert accountant.node_context_ms(1, "wcl.response") > 0
+        assert accountant.node_context_ms(1, "unused") == 0
+
+    def test_aes_cost_scales_with_size(self):
+        model = CostModel()
+        assert model.aes_ms(20_480) > model.aes_ms(1_024) > 0
+
+    def test_rsa_dwarfs_aes(self):
+        """The paper's Table II: RSA cost >> AES cost for 20 KB exchanges."""
+        model = CostModel()
+        assert model.rsa_decrypt_ms > 100 * model.aes_ms(20_480 // 10)
+
+    def test_op_breakdown_merges_contexts(self):
+        accountant = CpuAccountant()
+        accountant.rsa_decrypt(1, "a")
+        accountant.rsa_decrypt(1, "b")
+        breakdown = accountant.op_breakdown(1)
+        assert breakdown["rsa_decrypt"].count == 2
+
+    def test_charge_returns_seconds(self):
+        accountant = CpuAccountant()
+        assert accountant.charge(1, "custom", 1500.0) == pytest.approx(1.5)
+
+    def test_reset(self):
+        accountant = CpuAccountant()
+        accountant.rsa_decrypt(1)
+        accountant.reset()
+        assert accountant.node_total_ms(1) == 0.0

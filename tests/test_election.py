@@ -1,0 +1,153 @@
+"""Tests for leader heartbeats, election, and group key rollover."""
+
+import pytest
+
+from repro.core.election import Heartbeat, LeaderElection, Proposal, proposal_value
+from repro.core.ppss import MemberState, PpssConfig
+from repro.harness import World, WorldConfig
+
+
+class TestElectionUnit:
+    def make(self, node_id=1, timeout=100.0, settle=2, elected=None):
+        wins = []
+        return LeaderElection(
+            group="g", node_id=node_id, election_timeout=timeout,
+            settle_cycles=settle,
+            on_elected=elected if elected is not None else wins.append,
+        ), wins
+
+    def test_heartbeat_freshness_ordering(self):
+        older = Heartbeat(leader_id=1, epoch=1, seq=5)
+        newer = Heartbeat(leader_id=1, epoch=1, seq=6)
+        new_epoch = Heartbeat(leader_id=2, epoch=2, seq=0)
+        assert newer.fresher_than(older)
+        assert not older.fresher_than(newer)
+        assert new_epoch.fresher_than(newer)
+        assert newer.fresher_than(None)
+
+    def test_no_election_while_heartbeats_fresh(self):
+        election, _ = self.make()
+        election.observe_heartbeat(Heartbeat(1, 1, 1), now=0.0)
+        election.on_cycle(now=50.0, epoch=1)
+        assert not election.active
+
+    def test_election_starts_after_timeout(self):
+        election, _ = self.make()
+        election.observe_heartbeat(Heartbeat(1, 1, 1), now=0.0)
+        election.on_cycle(now=150.0, epoch=1)
+        assert election.active
+        assert election.best is not None
+        assert election.best.node_id == 1
+
+    def test_max_proposal_wins(self):
+        election, _ = self.make(node_id=1)
+        election.note_alive(0.0)
+        election.on_cycle(now=150.0, epoch=1)
+        strong = Proposal(
+            value=proposal_value("g", 2, 1), node_id=2, epoch=1
+        )
+        if strong.beats(election.best):
+            election.absorb({"proposal": strong}, now=151.0, epoch=1)
+            assert election.best.node_id == 2
+
+    def test_forged_proposal_rejected(self):
+        election, _ = self.make()
+        election.note_alive(0.0)
+        election.on_cycle(now=150.0, epoch=1)
+        forged = Proposal(value=2**63, node_id=2, epoch=1)
+        election.absorb({"proposal": forged}, now=151.0, epoch=1)
+        assert election.best.node_id == 1  # own proposal stands
+
+    def test_win_after_settle_cycles(self):
+        wins = []
+        election, _ = self.make(node_id=1, settle=2, elected=wins.append)
+        election.note_alive(0.0)
+        election.on_cycle(now=150.0, epoch=1)  # starts the election
+        election.on_cycle(now=210.0, epoch=1)
+        election.on_cycle(now=270.0, epoch=1)
+        assert wins == [1]
+        assert not election.active
+
+    def test_fresh_heartbeat_cancels_election(self):
+        wins = []
+        election, _ = self.make(node_id=1, settle=5, elected=wins.append)
+        election.note_alive(0.0)
+        election.on_cycle(now=150.0, epoch=1)
+        assert election.active
+        election.observe_heartbeat(Heartbeat(9, 1, 10), now=160.0)
+        assert not election.active
+        assert wins == []
+
+    def test_losing_node_never_wins(self):
+        wins = []
+        election, _ = self.make(node_id=1, settle=1, elected=wins.append)
+        election.note_alive(0.0)
+        election.on_cycle(now=150.0, epoch=1)
+        winner = Proposal(value=proposal_value("g", 7, 1), node_id=7, epoch=1)
+        if winner.beats(election.best):
+            election.absorb({"proposal": winner}, now=151.0, epoch=1)
+            election.on_cycle(now=210.0, epoch=1)
+            election.on_cycle(now=270.0, epoch=1)
+            assert wins == []
+
+
+class TestElectionIntegration:
+    @pytest.fixture(scope="class")
+    def after_leader_death(self):
+        config = WorldConfig(seed=81)
+        world = World(config)
+        world.populate(60)
+        world.start_all()
+        world.run(120.0)
+        # Faster election parameters to keep the test brisk.
+        ppss_config = PpssConfig(
+            cycle_time=30.0, election_timeout=120.0, election_settle_cycles=2,
+        )
+        nodes = world.alive_nodes()
+        leader = nodes[0]
+        group = leader.create_group("elect", config=ppss_config)
+        members = [leader]
+        for node in nodes[1:9]:
+            node.join_group(group.invite(node.node_id), config=ppss_config)
+            members.append(node)
+        world.run(300.0)
+        assert all(m.group("elect").state is MemberState.MEMBER for m in members)
+        world.kill_node(leader.node_id)
+        survivors = members[1:]
+        world.run(900.0)
+        return world, survivors
+
+    def test_new_leader_emerges(self, after_leader_death):
+        _world, survivors = after_leader_death
+        leaders = [s for s in survivors if s.group("elect").keyring.is_leader]
+        assert len(leaders) >= 1
+
+    def test_group_key_rolled_over(self, after_leader_death):
+        _world, survivors = after_leader_death
+        rolled = [
+            s for s in survivors if len(s.group("elect").keyring.history) >= 2
+        ]
+        assert len(rolled) >= len(survivors) - 1
+
+    def test_gossip_continues_after_rollover(self, after_leader_death):
+        world, survivors = after_leader_death
+        before = [s.group("elect").stats.exchanges_completed for s in survivors]
+        world.run(200.0)
+        after = [s.group("elect").stats.exchanges_completed for s in survivors]
+        assert sum(after) > sum(before)
+
+    def test_new_leader_admits_members(self, after_leader_death):
+        world, survivors = after_leader_death
+        new_leader = next(
+            s for s in survivors if s.group("elect").keyring.is_leader
+        )
+        recruit = next(
+            n for n in world.alive_nodes() if "elect" not in n.groups
+        )
+        invitation = new_leader.group("elect").invite(recruit.node_id)
+        recruit.join_group(
+            invitation,
+            config=PpssConfig(cycle_time=30.0),
+        )
+        world.run(300.0)
+        assert recruit.group("elect").state is MemberState.MEMBER

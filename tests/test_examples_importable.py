@@ -1,0 +1,34 @@
+"""Guard against bit-rot in the example scripts.
+
+Each example is imported (not executed: ``main()`` is __main__-guarded) so
+renamed APIs or syntax errors surface in the test suite instead of at demo
+time.  The examples' full behaviour is exercised manually / in CI via
+``make examples``.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "private_chat",
+        "private_dht",
+        "leader_failover",
+        "churn_resilience",
+    } <= names

@@ -1,0 +1,132 @@
+"""Unit tests for group key material, passports, and accreditations."""
+
+import random
+
+import pytest
+
+from repro.core.group import (
+    GroupKeyring,
+    issue_accreditation,
+    issue_passport,
+)
+from repro.crypto.provider import SimCryptoProvider
+
+
+@pytest.fixture
+def provider():
+    return SimCryptoProvider(random.Random(21))
+
+
+@pytest.fixture
+def leader_keyring(provider):
+    keyring = GroupKeyring(group="g")
+    keyring.become_leader(provider.generate_keypair())
+    return keyring
+
+
+def member_keyring(leader_keyring: GroupKeyring) -> GroupKeyring:
+    """A non-leader member: public history only."""
+    keyring = GroupKeyring(group="g")
+    for key in leader_keyring.history:
+        keyring.adopt_key(key)
+    return keyring
+
+
+class TestKeyring:
+    def test_current_key(self, leader_keyring):
+        assert leader_keyring.current is leader_keyring.history[-1]
+
+    def test_current_without_keys_raises(self):
+        with pytest.raises(ValueError):
+            GroupKeyring(group="g").current
+
+    def test_is_leader(self, provider, leader_keyring):
+        assert leader_keyring.is_leader
+        assert not member_keyring(leader_keyring).is_leader
+
+    def test_adopt_key_is_idempotent(self, provider, leader_keyring):
+        keyring = member_keyring(leader_keyring)
+        keyring.adopt_key(leader_keyring.current)
+        assert len(keyring.history) == 1
+
+    def test_key_rollover_appends(self, provider, leader_keyring):
+        old = leader_keyring.current
+        leader_keyring.become_leader(provider.generate_keypair())
+        assert len(leader_keyring.history) == 2
+        assert leader_keyring.current.fingerprint != old.fingerprint
+
+
+class TestPassports:
+    def test_issue_and_verify(self, provider, leader_keyring):
+        passport = issue_passport(provider, leader_keyring, member_id=42)
+        member = member_keyring(leader_keyring)
+        assert member.verify_passport(provider, passport, claimed_id=42)
+
+    def test_wrong_claimed_id_rejected(self, provider, leader_keyring):
+        passport = issue_passport(provider, leader_keyring, member_id=42)
+        member = member_keyring(leader_keyring)
+        assert not member.verify_passport(provider, passport, claimed_id=43)
+
+    def test_other_group_passport_rejected(self, provider, leader_keyring):
+        other = GroupKeyring(group="other")
+        other.become_leader(provider.generate_keypair())
+        passport = issue_passport(provider, other, member_id=42)
+        member = member_keyring(leader_keyring)
+        assert not member.verify_passport(provider, passport, claimed_id=42)
+
+    def test_old_key_passport_survives_rollover(self, provider, leader_keyring):
+        passport = issue_passport(provider, leader_keyring, member_id=42)
+        member = member_keyring(leader_keyring)
+        # Rollover: a new leader key is adopted on both sides.
+        leader_keyring.become_leader(provider.generate_keypair())
+        member.adopt_key(leader_keyring.current)
+        assert member.verify_passport(provider, passport, claimed_id=42)
+
+    def test_unknown_key_fingerprint_rejected(self, provider, leader_keyring):
+        passport = issue_passport(provider, leader_keyring, member_id=42)
+        stranger = GroupKeyring(group="g")
+        stranger.adopt_key(provider.generate_keypair().public)
+        assert not stranger.verify_passport(provider, passport, claimed_id=42)
+
+    def test_only_leader_can_issue(self, provider, leader_keyring):
+        member = member_keyring(leader_keyring)
+        with pytest.raises(PermissionError):
+            issue_passport(provider, member, member_id=1)
+
+
+class TestAccreditations:
+    def test_targeted_accreditation(self, provider, leader_keyring):
+        acc = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        member = member_keyring(leader_keyring)
+        assert member.verify_accreditation(provider, acc, presenter=7, now=50.0)
+
+    def test_wrong_presenter_rejected(self, provider, leader_keyring):
+        acc = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        assert not leader_keyring.verify_accreditation(
+            provider, acc, presenter=8, now=50.0
+        )
+
+    def test_bearer_accreditation(self, provider, leader_keyring):
+        acc = issue_accreditation(
+            provider, leader_keyring, invitee=None, expires_at=100.0
+        )
+        assert leader_keyring.verify_accreditation(provider, acc, presenter=99, now=50.0)
+
+    def test_expired_rejected(self, provider, leader_keyring):
+        acc = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        assert not leader_keyring.verify_accreditation(
+            provider, acc, presenter=7, now=101.0
+        )
+
+    def test_forged_signature_rejected(self, provider, leader_keyring):
+        import dataclasses
+        acc = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        forged = dataclasses.replace(acc, invitee=8)
+        assert not leader_keyring.verify_accreditation(
+            provider, forged, presenter=8, now=50.0
+        )
+
+    def test_nonces_differ(self, provider, leader_keyring):
+        a = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        b = issue_accreditation(provider, leader_keyring, invitee=7, expires_at=100.0)
+        assert a.nonce != b.nonce

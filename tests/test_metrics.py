@@ -1,0 +1,111 @@
+"""Unit tests for graph metrics and distribution statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ViewGraph,
+    cdf_points,
+    in_degree_distribution,
+    local_clustering_coefficient,
+    percentile,
+    stacked_percentiles,
+    summarize,
+)
+
+
+class TestViewGraph:
+    def test_degrees(self):
+        graph = ViewGraph({1: [2, 3], 2: [3], 3: []})
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(3) == 2
+        assert graph.in_degree(1) == 0
+
+    def test_self_loops_dropped(self):
+        graph = ViewGraph({1: [1, 2], 2: []})
+        assert graph.out_degree(1) == 1
+        assert graph.in_degree(1) == 0
+
+    def test_undirected_neighbours(self):
+        graph = ViewGraph({1: [2], 2: [], 3: [1]})
+        assert graph.undirected_neighbours(1) == {2, 3}
+
+    def test_clustering_triangle(self):
+        graph = ViewGraph({1: [2, 3], 2: [3], 3: [1]})
+        assert local_clustering_coefficient(graph, 1) == 1.0
+
+    def test_clustering_star_is_zero(self):
+        graph = ViewGraph({0: [1, 2, 3], 1: [], 2: [], 3: []})
+        assert local_clustering_coefficient(graph, 0) == 0.0
+
+    def test_clustering_needs_two_neighbours(self):
+        graph = ViewGraph({1: [2], 2: []})
+        assert local_clustering_coefficient(graph, 1) == 0.0
+
+    def test_in_degree_distribution_sorted_and_filtered(self):
+        graph = ViewGraph({1: [2, 3], 2: [3], 3: [2]})
+        assert in_degree_distribution(graph) == [0, 2, 2]
+        assert in_degree_distribution(graph, nodes=[2, 3]) == [2, 2]
+
+
+class TestPercentiles:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_stacked_percentiles_uses_paper_levels(self):
+        stacked = stacked_percentiles(list(range(101)))
+        assert set(stacked) == {5.0, 25.0, 50.0, 75.0, 90.0}
+        assert stacked[50.0] == 50
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_percentile_within_range_property(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+    def test_percentile_monotone_property(self, samples):
+        assert percentile(samples, 25) <= percentile(samples, 75)
+
+
+class TestCdf:
+    def test_cdf_shape(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_summary(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

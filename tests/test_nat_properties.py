@@ -1,0 +1,102 @@
+"""Property-based tests for NAT device behaviour (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nat.device import NatDevice
+from repro.nat.types import NatType
+from repro.net.address import Endpoint, Protocol
+
+INTERNAL = Endpoint("priv-1", 7000)
+
+remotes = st.builds(
+    Endpoint,
+    host=st.sampled_from(["pub-1", "pub-2", "pub-3", "nat-9"]),
+    port=st.integers(7000, 7003),
+)
+
+nat_types = st.sampled_from([
+    NatType.FULL_CONE,
+    NatType.RESTRICTED_CONE,
+    NatType.PORT_RESTRICTED_CONE,
+    NatType.SYMMETRIC,
+])
+
+
+class TestDeviceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(nat_type=nat_types, sequence=st.lists(remotes, min_size=1, max_size=12))
+    def test_replies_from_contacted_remotes_always_admitted(
+        self, nat_type, sequence
+    ):
+        """For every NAT type, a remote we just sent to can reply."""
+        device = NatDevice(nat_id=1, nat_type=nat_type)
+        for i, remote in enumerate(sequence):
+            external = device.outbound(INTERNAL, remote, Protocol.UDP, now=float(i))
+            assert device.inbound(
+                external.port, remote, Protocol.UDP, now=float(i) + 0.5
+            ) == INTERNAL
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        nat_type=nat_types,
+        contacted=st.lists(remotes, min_size=0, max_size=6),
+        prober=remotes,
+        port_guess=st.integers(40_000, 40_050),
+    )
+    def test_never_admits_without_matching_rule(
+        self, nat_type, contacted, prober, port_guess
+    ):
+        """An admitted packet implies the filtering rule for its type."""
+        device = NatDevice(nat_id=1, nat_type=nat_type)
+        externals = {}
+        for i, remote in enumerate(contacted):
+            ext = device.outbound(INTERNAL, remote, Protocol.UDP, now=float(i))
+            externals[remote] = ext.port
+        admitted = device.inbound(port_guess, prober, Protocol.UDP, now=50.0)
+        if admitted is None:
+            return
+        # The packet got in: the relevant rule must genuinely hold.
+        assert port_guess in externals.values()
+        if nat_type is NatType.RESTRICTED_CONE:
+            assert prober.host in {r.host for r in contacted}
+        elif nat_type is NatType.PORT_RESTRICTED_CONE:
+            assert prober in contacted
+        elif nat_type is NatType.SYMMETRIC:
+            assert externals.get(prober) == port_guess
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=st.lists(remotes, min_size=1, max_size=10))
+    def test_cone_mapping_is_stable(self, sequence):
+        """Cone NATs expose one external endpoint per internal socket."""
+        device = NatDevice(nat_id=1, nat_type=NatType.FULL_CONE)
+        ports = {
+            device.outbound(INTERNAL, remote, Protocol.UDP, now=float(i)).port
+            for i, remote in enumerate(sequence)
+        }
+        assert len(ports) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=st.lists(remotes, min_size=1, max_size=10, unique=True))
+    def test_symmetric_mapping_per_remote(self, sequence):
+        """Symmetric NATs allocate a distinct port per remote endpoint."""
+        device = NatDevice(nat_id=1, nat_type=NatType.SYMMETRIC)
+        ports = [
+            device.outbound(INTERNAL, remote, Protocol.UDP, now=float(i)).port
+            for i, remote in enumerate(sequence)
+        ]
+        assert len(set(ports)) == len(sequence)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nat_type=nat_types, gap=st.floats(0.0, 1000.0))
+    def test_lease_boundary(self, nat_type, gap):
+        """Inbound succeeds iff within the (refreshed) lease window."""
+        device = NatDevice(nat_id=1, nat_type=nat_type)
+        remote = Endpoint("pub-1", 7000)
+        external = device.outbound(INTERNAL, remote, Protocol.UDP, now=0.0)
+        lease = device.lease(Protocol.UDP)
+        result = device.inbound(external.port, remote, Protocol.UDP, now=gap)
+        if gap <= lease:
+            assert result == INTERNAL
+        else:
+            assert result is None

@@ -1,0 +1,63 @@
+"""Unit tests for the paper-style report rendering."""
+
+from repro.harness.report import CdfSummary, Report, Table
+
+
+class TestTable:
+    def test_renders_aligned_columns(self):
+        table = Table(title="T", headers=["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 20)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All body lines align on the separator.
+        assert lines[2].count("-+-") == 1
+        assert "alpha" in lines[3] and "1.500" in lines[3]
+        assert "20" in lines[4]
+
+    def test_float_formatting(self):
+        table = Table(title="T", headers=["x"])
+        table.add_row(0.123456)
+        assert "0.123" in table.render()
+
+    def test_wide_cells_stretch_columns(self):
+        table = Table(title="T", headers=["h"])
+        table.add_row("a-very-long-cell-value")
+        header_line = table.render().splitlines()[1]
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+
+class TestCdfSummary:
+    def test_renders_percentile_grid(self):
+        summary = CdfSummary(title="delays", samples=[1.0, 2.0, 3.0], unit="s")
+        text = summary.render()
+        assert "delays" in text
+        assert "(n=3)" in text
+        assert "p50" in text and "p90" in text
+
+    def test_empty_samples(self):
+        assert "no samples" in CdfSummary(title="x", samples=[]).render()
+
+
+class TestReport:
+    def test_full_rendering(self):
+        report = Report(title="Fig. X")
+        table = Table(title="t", headers=["a"])
+        table.add_row(1)
+        report.add(table)
+        report.add(CdfSummary(title="cdf", samples=[1.0]))
+        report.note("shape matches")
+        text = report.render()
+        assert text.startswith("=== Fig. X ===")
+        assert "note: shape matches" in text
+        assert text.endswith("\n")
+
+    def test_sections_render_in_order(self):
+        report = Report(title="r")
+        for name in ("first", "second"):
+            t = Table(title=name, headers=["x"])
+            report.add(t)
+        text = report.render()
+        assert text.index("first") < text.index("second")

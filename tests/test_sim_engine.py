@@ -1,0 +1,208 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import PeriodicTask, RngRegistry, SimulationError, Simulator, Timer
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(1.0, lambda lab=label: fired.append(lab))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=5)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=-5)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_max_events_limits_run(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestPeriodicTask:
+    def test_ticks_at_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, period=10.0, callback=lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_initial_delay_phase(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(
+            sim, period=10.0, callback=lambda: times.append(sim.now),
+            initial_delay=3.0,
+        )
+        sim.run(until=25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_stop_cancels_future_ticks(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, period=10.0, callback=lambda: times.append(sim.now))
+        sim.run(until=15.0)
+        task.stop()
+        sim.run(until=50.0)
+        assert times == [10.0]
+        assert not task.running
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        task_box = []
+
+        def tick():
+            task_box[0].stop()
+
+        task_box.append(PeriodicTask(sim, period=5.0, callback=tick))
+        sim.run(until=30.0)
+        assert task_box[0].ticks == 1
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), period=0.0, callback=lambda: None)
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(4.0)
+        sim.run(until=20.0)
+        assert fired == [4.0]
+        assert not timer.armed
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(4.0)
+        timer.start(8.0)
+        sim.run(until=20.0)
+        assert fired == [8.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(4.0)
+        timer.cancel()
+        sim.run(until=20.0)
+        assert fired == []
+
+
+class TestRngRegistry:
+    def test_same_seed_same_streams(self):
+        a = RngRegistry(42).stream("latency")
+        b = RngRegistry(42).stream("latency")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(42)
+        churn = registry.stream("churn")
+        latency = registry.stream("latency")
+        assert churn is not latency
+        assert [churn.random() for _ in range(3)] != [
+            latency.random() for _ in range(3)
+        ]
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(42).fork("node-1")
+        b = RngRegistry(42).fork("node-1")
+        assert a.seed == b.seed
+        assert a.seed != RngRegistry(42).fork("node-2").seed

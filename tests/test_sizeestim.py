@@ -1,0 +1,56 @@
+"""Integration test: private-group size estimation via averaging."""
+
+import pytest
+
+from repro.apps import SizeEstimator
+from repro.core.ppss import MemberState, PpssConfig
+from repro.harness import World, WorldConfig
+
+
+class TestSizeEstimation:
+    def test_estimate_converges_to_group_size(self):
+        world = World(WorldConfig(seed=801))
+        world.populate(60)
+        world.start_all()
+        world.run(120.0)
+        config = PpssConfig(cycle_time=20.0)
+        nodes = world.alive_nodes()
+        leader = nodes[0]
+        group = leader.create_group("sized", config=config)
+        members = [leader]
+        for node in nodes[1:12]:
+            node.join_group(group.invite(node.node_id), config=config)
+            members.append(node)
+        world.run(250.0)
+        assert all(
+            m.group("sized").state is MemberState.MEMBER for m in members
+        )
+        estimators = []
+        for i, member in enumerate(members):
+            est = SizeEstimator(
+                member.group("sized"), world.sim,
+                world.registry.fork(f"se-{i}").stream("x"),
+                is_initiator=(i == 0),
+            )
+            member.group("sized").set_app_handler(est.handle_payload)
+            estimators.append(est)
+        world.run(700.0)
+        estimates = [e.estimate for e in estimators if e.estimate is not None]
+        assert len(estimates) >= len(members) - 2
+        mean = sum(estimates) / len(estimates)
+        # Averaging with a few message losses: generous band around N=12.
+        assert 6 <= mean <= 30
+
+    def test_estimate_none_before_mass_arrives(self):
+        world = World(WorldConfig(seed=802))
+        world.populate(20)
+        world.start_all()
+        world.run(100.0)
+        node = world.alive_nodes()[0]
+        group = node.create_group("lonely")
+        est = SizeEstimator(
+            group, world.sim, world.registry.fork("se").stream("x"),
+            is_initiator=False,
+        )
+        assert est.estimate is None
+        est.stop()

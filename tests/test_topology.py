@@ -1,0 +1,117 @@
+"""Unit tests for NAT topology assignment and endpoint resolution."""
+
+import random
+
+import pytest
+
+from repro.nat.topology import NatTopology
+from repro.nat.types import NatType
+from repro.net.address import Endpoint, NodeKind, Protocol
+
+
+@pytest.fixture()
+def topology():
+    return NatTopology(random.Random(5))
+
+
+class TestAssignment:
+    def test_forced_public(self, topology):
+        assignment = topology.add_node(1, NatType.OPEN)
+        assert assignment.kind is NodeKind.PUBLIC
+        assert assignment.device is None
+        assert assignment.local_endpoint.host == "pub-1"
+
+    def test_forced_natted(self, topology):
+        assignment = topology.add_node(2, NatType.SYMMETRIC)
+        assert assignment.kind is NodeKind.NATTED
+        assert assignment.device is not None
+        assert assignment.local_endpoint.is_private
+
+    def test_duplicate_rejected(self, topology):
+        topology.add_node(1, NatType.OPEN)
+        with pytest.raises(ValueError):
+            topology.add_node(1, NatType.OPEN)
+
+    def test_random_draw_respects_fraction(self):
+        topology = NatTopology(random.Random(5), natted_fraction=0.7)
+        for i in range(400):
+            topology.add_node(i)
+        natted = sum(
+            1 for i in range(400)
+            if topology.kind(i) is NodeKind.NATTED
+        )
+        assert 230 < natted < 330  # ~70% in expectation
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            NatTopology(random.Random(1), natted_fraction=1.5)
+
+    def test_public_endpoint_accessor(self, topology):
+        topology.add_node(1, NatType.OPEN)
+        topology.add_node(2, NatType.FULL_CONE)
+        assert topology.public_endpoint(1).host == "pub-1"
+        with pytest.raises(ValueError):
+            topology.public_endpoint(2)
+
+    def test_remove_node_clears_state(self, topology):
+        topology.add_node(1, NatType.OPEN)
+        topology.add_node(2, NatType.FULL_CONE)
+        topology.remove_node(1)
+        topology.remove_node(2)
+        assert not topology.knows(1)
+        assert topology.resolve_inbound(
+            Endpoint("pub-1", 7000), Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        ) is None
+        topology.remove_node(42)  # unknown: no-op
+
+
+class TestResolution:
+    def test_public_outbound_untranslated(self, topology):
+        topology.add_node(1, NatType.OPEN)
+        visible = topology.translate_outbound(
+            1, Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        )
+        assert visible == Endpoint("pub-1", 7000)
+
+    def test_natted_outbound_translated(self, topology):
+        topology.add_node(2, NatType.FULL_CONE)
+        visible = topology.translate_outbound(
+            2, Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        )
+        assert visible.host == "nat-2"
+
+    def test_inbound_to_public(self, topology):
+        topology.add_node(1, NatType.OPEN)
+        owner = topology.resolve_inbound(
+            Endpoint("pub-1", 7000), Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        )
+        assert owner == 1
+
+    def test_inbound_through_nat_requires_mapping(self, topology):
+        topology.add_node(2, NatType.FULL_CONE)
+        remote = Endpoint("pub-9", 7000)
+        # Nothing sent out yet: any inbound guess is filtered.
+        assert topology.resolve_inbound(
+            Endpoint("nat-2", 40000), remote, Protocol.UDP, 0.0
+        ) is None
+        visible = topology.translate_outbound(2, remote, Protocol.UDP, 0.0)
+        owner = topology.resolve_inbound(visible, remote, Protocol.UDP, 1.0)
+        assert owner == 2
+
+    def test_end_to_end_between_two_nats(self, topology):
+        a = topology.add_node(1, NatType.FULL_CONE)
+        b = topology.add_node(2, NatType.FULL_CONE)
+        assert a.device is not b.device
+        # 1 sends to 2's (pre-opened) external endpoint.
+        b_external = topology.translate_outbound(
+            2, Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        )
+        visible_1 = topology.translate_outbound(1, b_external, Protocol.UDP, 0.0)
+        assert visible_1.host == "nat-1"
+        # Full cone: 1's packet is admitted at 2.
+        assert topology.resolve_inbound(b_external, visible_1, Protocol.UDP, 1.0) == 2
+
+    def test_unknown_destination_dropped(self, topology):
+        assert topology.resolve_inbound(
+            Endpoint("nat-404", 40000), Endpoint("pub-9", 7000), Protocol.UDP, 0.0
+        ) is None

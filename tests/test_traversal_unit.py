@@ -1,0 +1,113 @@
+"""Focused unit tests for ConnectionManager internals."""
+
+import pytest
+
+from repro.nat.traversal import TraversalPolicy
+from repro.nat.types import NatType
+from repro.net.address import Endpoint, Protocol
+
+from .helpers import MiniWorld
+
+
+class TestReflexiveDiscovery:
+    def test_cone_node_learns_reflexive(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.FULL_CONE)
+        b = world.add(2, NatType.OPEN)
+        a.cm.learn_reflexive_via(b.cm.descriptor())
+        world.run(1.0)
+        assert a.cm._reflexive is not None
+        assert a.cm._reflexive.host == "nat-1"
+
+    def test_symmetric_node_does_not_trust_reflexive(self):
+        """Per-destination mappings make the reflexive endpoint useless."""
+        world = MiniWorld()
+        a = world.add(1, NatType.SYMMETRIC)
+        b = world.add(2, NatType.OPEN)
+        a.cm.learn_reflexive_via(b.cm.descriptor())
+        world.run(1.0)
+        assert a.cm._reflexive is None
+
+    def test_public_node_learns_its_own_endpoint(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.OPEN)
+        b = world.add(2, NatType.OPEN)
+        a.cm.learn_reflexive_via(b.cm.descriptor())
+        world.run(1.0)
+        assert a.cm._reflexive == Endpoint("pub-1", 7000)
+
+    def test_discovery_requires_public_target(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.FULL_CONE)
+        b = world.add(2, NatType.FULL_CONE)
+        with pytest.raises(ValueError):
+            a.cm.learn_reflexive_via(b.cm.descriptor())
+
+
+class TestSessionLifetime:
+    def test_session_expires_after_lifetime(self):
+        world = MiniWorld(policy=TraversalPolicy(
+            session_lifetime=50.0, protocol=Protocol.UDP,
+        ))
+        a = world.add(1, NatType.OPEN)
+        b = world.add(2, NatType.OPEN)
+        a.cm.ensure_session(b.cm.descriptor(), lambda: None, pytest.fail)
+        world.run(1.0)
+        assert a.cm.has_session(2)
+        world.run(60.0)
+        assert not a.cm.has_session(2)
+
+    def test_traffic_refreshes_lifetime(self):
+        world = MiniWorld(policy=TraversalPolicy(
+            session_lifetime=50.0, protocol=Protocol.UDP,
+        ))
+        a = world.add(1, NatType.OPEN)
+        b = world.add(2, NatType.OPEN)
+        a.cm.ensure_session(b.cm.descriptor(), lambda: None, pytest.fail)
+        world.run(1.0)
+        for _ in range(4):
+            world.run(30.0)
+            assert a.cm.send_via_session(2, "app.keepalive", None, 16, "app")
+        assert a.cm.has_session(2)
+
+    def test_drop_session(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.OPEN)
+        b = world.add(2, NatType.OPEN)
+        a.cm.ensure_session(b.cm.descriptor(), lambda: None, pytest.fail)
+        world.run(1.0)
+        a.cm.drop_session(2)
+        assert not a.cm.has_session(2)
+        assert not a.cm.send_via_session(2, "app.x", None, 16, "app")
+
+    def test_sessions_listing_filters_expired(self):
+        world = MiniWorld(policy=TraversalPolicy(
+            session_lifetime=50.0, protocol=Protocol.UDP,
+        ))
+        a = world.add(1, NatType.OPEN)
+        b = world.add(2, NatType.OPEN)
+        c = world.add(3, NatType.OPEN)
+        a.cm.ensure_session(b.cm.descriptor(), lambda: None, pytest.fail)
+        world.run(40.0)
+        a.cm.ensure_session(c.cm.descriptor(), lambda: None, pytest.fail)
+        world.run(20.0)  # b's session expired, c's is fresh
+        peers = {s.peer for s in a.cm.sessions()}
+        assert peers == {3}
+
+
+class TestDescriptorShape:
+    def test_public_descriptor_has_endpoint(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.OPEN)
+        descriptor = a.cm.descriptor()
+        assert descriptor.is_public
+        assert descriptor.public_endpoint == Endpoint("pub-1", 7000)
+        assert descriptor.route == ()
+
+    def test_natted_descriptor_has_no_endpoint(self):
+        world = MiniWorld()
+        a = world.add(1, NatType.PORT_RESTRICTED_CONE)
+        descriptor = a.cm.descriptor()
+        assert not descriptor.is_public
+        assert descriptor.public_endpoint is None
+        assert descriptor.nat_type is NatType.PORT_RESTRICTED_CONE

@@ -1,0 +1,203 @@
+"""Unit and property tests for PSS views and truncation policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nat.traversal import NodeDescriptor
+from repro.nat.types import NatType
+from repro.net.address import Endpoint, NodeKind
+from repro.pss.policies import AggressiveBiasedPolicy, BiasedHealerPolicy, HealerPolicy
+from repro.pss.view import View, ViewEntry
+
+
+def descriptor(node_id: int, public: bool = False) -> NodeDescriptor:
+    if public:
+        return NodeDescriptor(
+            node_id=node_id, kind=NodeKind.PUBLIC, nat_type=NatType.OPEN,
+            public_endpoint=Endpoint(f"pub-{node_id}", 7000),
+        )
+    return NodeDescriptor(
+        node_id=node_id, kind=NodeKind.NATTED, nat_type=NatType.FULL_CONE,
+        route=(999,),
+    )
+
+
+def entry(node_id: int, age: int = 0, public: bool = False) -> ViewEntry:
+    return ViewEntry(descriptor=descriptor(node_id, public), age=age)
+
+
+class TestView:
+    def test_replace_and_lookup(self):
+        view = View(capacity=5)
+        view.replace_all([entry(1), entry(2)])
+        assert len(view) == 2
+        assert 1 in view and 3 not in view
+        assert view.get(2).node_id == 2
+
+    def test_capacity_enforced(self):
+        view = View(capacity=2)
+        with pytest.raises(ValueError):
+            view.replace_all([entry(1), entry(2), entry(3)])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            View(capacity=0)
+
+    def test_oldest_prefers_highest_age(self):
+        view = View(capacity=5)
+        view.replace_all([entry(1, age=2), entry(2, age=7), entry(3, age=4)])
+        assert view.oldest().node_id == 2
+
+    def test_oldest_of_empty_view(self):
+        assert View(capacity=5).oldest() is None
+
+    def test_increment_ages(self):
+        view = View(capacity=5)
+        view.replace_all([entry(1, age=0), entry(2, age=3)])
+        view.increment_ages()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 4
+
+    def test_remove(self):
+        view = View(capacity=5)
+        view.replace_all([entry(1), entry(2)])
+        view.remove(1)
+        assert 1 not in view
+        view.remove(42)  # absent: no-op
+
+    def test_public_helpers(self):
+        view = View(capacity=5)
+        view.replace_all([entry(1, public=True), entry(2), entry(3, public=True)])
+        assert view.count_public() == 2
+        assert {e.node_id for e in view.public_entries()} == {1, 3}
+
+    def test_sample_bounds(self):
+        view = View(capacity=5)
+        view.replace_all([entry(i) for i in range(1, 5)])
+        rng = random.Random(1)
+        assert len(view.sample(rng, 2)) == 2
+        assert len(view.sample(rng, 10)) == 4
+
+    def test_random_entry_empty(self):
+        assert View(capacity=3).random_entry(random.Random(1)) is None
+
+    def test_merge_candidates_dedupes_keeping_freshest(self):
+        own = [entry(1, age=5), entry(2, age=1)]
+        received = [entry(1, age=2), entry(3, age=0)]
+        merged = View.merge_candidates(own, received, self_id=99)
+        by_id = {e.node_id: e for e in merged}
+        assert by_id[1].age == 2
+        assert set(by_id) == {1, 2, 3}
+
+    def test_merge_candidates_drops_self(self):
+        merged = View.merge_candidates([entry(1)], [entry(7)], self_id=7)
+        assert {e.node_id for e in merged} == {1}
+
+    def test_merge_candidates_drops_overlong_routes(self):
+        import dataclasses
+        long_route = dataclasses.replace(
+            descriptor(5), route=tuple(range(100, 110))
+        )
+        bad = ViewEntry(descriptor=long_route, age=0)
+        merged = View.merge_candidates([bad], [], self_id=99)
+        assert merged == []
+
+    def test_entry_via_extends_route(self):
+        e = entry(4)
+        assert e.via(77).descriptor.route == (77, 999)
+        assert e.via(77).age == e.age
+
+
+class TestHealerPolicy:
+    def test_keeps_freshest(self):
+        policy = HealerPolicy(capacity=2)
+        kept = policy.truncate([entry(1, 5), entry(2, 1), entry(3, 3)])
+        assert {e.node_id for e in kept} == {2, 3}
+
+    def test_no_truncation_needed(self):
+        policy = HealerPolicy(capacity=5)
+        kept = policy.truncate([entry(1, 5), entry(2, 1)])
+        assert len(kept) == 2
+
+
+class TestBiasedPolicy:
+    def test_pi_zero_equals_healer(self):
+        candidates = [entry(i, age=i) for i in range(10)]
+        assert {e.node_id for e in BiasedHealerPolicy(4, 0).truncate(candidates)} == {
+            e.node_id for e in HealerPolicy(4).truncate(candidates)
+        }
+
+    def test_guarantees_pi_public_nodes(self):
+        # 8 fresh N-nodes, 2 stale P-nodes; unbiased would evict the P-nodes.
+        candidates = [entry(i, age=0) for i in range(8)]
+        candidates += [entry(100, age=50, public=True), entry(101, age=60, public=True)]
+        kept = BiasedHealerPolicy(5, 2).truncate(candidates)
+        publics = [e for e in kept if e.is_public]
+        assert len(publics) == 2
+        assert len(kept) == 5
+
+    def test_keeps_freshest_public_nodes(self):
+        candidates = [entry(i, age=0) for i in range(8)]
+        candidates += [
+            entry(100, age=50, public=True),
+            entry(101, age=60, public=True),
+            entry(102, age=10, public=True),
+        ]
+        kept = BiasedHealerPolicy(5, 2).truncate(candidates)
+        public_ids = {e.node_id for e in kept if e.is_public}
+        assert 102 in public_ids  # the freshest P-node must be guaranteed
+        assert 101 not in public_ids or 100 not in public_ids
+
+    def test_cannot_exceed_capacity(self):
+        candidates = [entry(i, age=i, public=(i % 2 == 0)) for i in range(30)]
+        kept = BiasedHealerPolicy(10, 3).truncate(candidates)
+        assert len(kept) == 10
+
+    def test_fewer_publics_than_pi_keeps_what_exists(self):
+        candidates = [entry(i, age=0) for i in range(8)]
+        candidates += [entry(100, age=50, public=True)]
+        kept = BiasedHealerPolicy(5, 3).truncate(candidates)
+        assert sum(1 for e in kept if e.is_public) == 1
+
+    def test_pi_validation(self):
+        with pytest.raises(ValueError):
+            BiasedHealerPolicy(5, -1)
+        with pytest.raises(ValueError):
+            BiasedHealerPolicy(5, 6)
+
+    def test_aggressive_variant_caps_publics(self):
+        candidates = [entry(i, age=1) for i in range(8)]
+        candidates += [entry(100 + i, age=0, public=True) for i in range(6)]
+        kept = AggressiveBiasedPolicy(10, 2).truncate(candidates)
+        publics = sum(1 for e in kept if e.is_public)
+        # 14 candidates, capacity 10 -> 4 drops, all from surplus P-nodes.
+        assert publics == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ages=st.lists(st.integers(0, 100), min_size=0, max_size=40),
+        public_mask=st.lists(st.booleans(), min_size=0, max_size=40),
+        capacity=st.integers(1, 12),
+        pi=st.integers(0, 12),
+    )
+    def test_invariants_property(self, ages, public_mask, capacity, pi):
+        pi = min(pi, capacity)
+        n = min(len(ages), len(public_mask))
+        candidates = [
+            entry(i, age=ages[i], public=public_mask[i]) for i in range(n)
+        ]
+        kept = BiasedHealerPolicy(capacity, pi).truncate(candidates)
+        # Never exceeds capacity and never invents entries.
+        assert len(kept) <= capacity
+        assert {e.node_id for e in kept} <= {e.node_id for e in candidates}
+        assert len({e.node_id for e in kept}) == len(kept)
+        # The Pi invariant holds whenever enough P-node candidates exist.
+        available_public = sum(1 for e in candidates if e.is_public)
+        kept_public = sum(1 for e in kept if e.is_public)
+        assert kept_public >= min(pi, available_public)
+        # If the pool exceeds capacity, the view is filled completely.
+        if len(candidates) >= capacity:
+            assert len(kept) == capacity
