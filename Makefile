@@ -1,8 +1,10 @@
 # Convenience targets for the WHISPER reproduction.
 
 PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples trace clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +25,11 @@ examples:
 	$(PYTHON) examples/leader_failover.py
 	$(PYTHON) examples/churn_resilience.py
 
+# Run the chat example with telemetry on, export the trace, summarise it.
+trace:
+	REPRO_TRACE=trace.jsonl $(PYTHON) examples/private_chat.py
+	$(PYTHON) -m repro.telemetry trace.jsonl
+
 clean:
-	rm -rf .pytest_cache .hypothesis build *.egg-info
+	rm -rf .pytest_cache .hypothesis build *.egg-info trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,9 +9,15 @@ nodes.  The script also demonstrates that a non-member who somehow obtains
 a chat payload cannot inject messages: passports gate everything.
 
 Run:  python examples/private_chat.py
+
+Set ``REPRO_TRACE=trace.jsonl`` to run with telemetry enabled, export the
+deterministic JSONL trace to that path, and print a span-tree summary
+(``make trace`` does exactly this).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import World, WorldConfig
 from repro.core.ppss import MemberState, PpssConfig, PrivatePeerSamplingService
@@ -61,7 +67,8 @@ class ChatRoom:
 
 
 def main() -> None:
-    world = World(WorldConfig(seed=23))
+    trace_path = os.environ.get("REPRO_TRACE")
+    world = World(WorldConfig(seed=23, telemetry_enabled=bool(trace_path)))
     print("populating 120 nodes ...")
     world.populate(120)
     world.start_all()
@@ -120,6 +127,11 @@ def main() -> None:
         "\noutsider injection attempt rejected:",
         target.stats.passport_rejections == rejections_before + 1,
     )
+
+    if trace_path:
+        world.telemetry.export_jsonl(trace_path)
+        print(f"\ntelemetry trace written to {trace_path}")
+        print(world.telemetry.render_summary())
 
 
 if __name__ == "__main__":

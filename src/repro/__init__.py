@@ -29,6 +29,7 @@ from .core import (
     WhisperNode,
 )
 from .harness import World, WorldConfig
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -37,6 +38,7 @@ __all__ = [
     "PpssConfig",
     "PrivateContact",
     "PrivatePeerSamplingService",
+    "Telemetry",
     "WhisperConfig",
     "WhisperNode",
     "World",

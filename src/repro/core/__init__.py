@@ -20,7 +20,7 @@ from .ppss import (
     PrivatePeerSamplingService,
     PrivateViewEntry,
 )
-from .wcl import AttemptInfo, TraceLog, WclStats, WhisperCommunicationLayer
+from .wcl import AttemptInfo, WclStats, WhisperCommunicationLayer
 
 __all__ = [
     "Accreditation",
@@ -44,7 +44,6 @@ __all__ = [
     "PrivatePeerSamplingService",
     "PrivateViewEntry",
     "Proposal",
-    "TraceLog",
     "WclStats",
     "WhisperCommunicationLayer",
     "WhisperConfig",

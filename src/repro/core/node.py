@@ -23,10 +23,11 @@ from ..net.network import Network
 from ..pss.gossip import PeerSamplingService, PssConfig
 from ..pss.policies import BiasedHealerPolicy
 from ..sim.engine import Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import ConnectionBacklog
 from .group import Invitation
 from .ppss import PpssConfig, PrivatePeerSamplingService
-from .wcl import TraceLog, WhisperCommunicationLayer
+from .wcl import WhisperCommunicationLayer
 
 __all__ = ["WhisperConfig", "WhisperNode"]
 
@@ -55,7 +56,7 @@ class WhisperNode:
         provider: CryptoProvider,
         rng: random.Random,
         config: WhisperConfig | None = None,
-        trace: TraceLog | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.node_id = node_id
         self.nat_type = nat_type
@@ -64,11 +65,13 @@ class WhisperNode:
         self.provider = provider
         self._rng = rng
         self.config = config if config is not None else WhisperConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.keypair = provider.generate_keypair()
         self.cm = ConnectionManager(
             node_id, nat_type, sim, network,
             policy=self.config.traversal,
             deliver_upcall=self._from_session,
+            telemetry=self.telemetry,
         )
         self.pss = PeerSamplingService(
             node_id, self.cm, sim, rng,
@@ -77,6 +80,7 @@ class WhisperNode:
                 self.config.pss.view_size, self.config.pi, rng=rng
             ),
             public_key=self.keypair.public,
+            telemetry=self.telemetry,
         )
         self.backlog = ConnectionBacklog(
             node_id, self.cm, self.pss, rng, pi=self.config.pi
@@ -85,7 +89,7 @@ class WhisperNode:
         self.pss.add_failure_listener(self.backlog.remove)
         self.wcl = WhisperCommunicationLayer(
             node_id, self.keypair, self.cm, self.backlog, provider, sim, rng,
-            trace=trace,
+            telemetry=self.telemetry,
         )
         self.wcl.set_receive_upcall(self._from_wcl)
         self.groups: dict[str, PrivatePeerSamplingService] = {}
@@ -161,6 +165,7 @@ class WhisperNode:
             sim=self._sim,
             rng=self._rng,
             config=config if config is not None else self.config.ppss,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------

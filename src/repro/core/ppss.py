@@ -34,6 +34,7 @@ from ..net.address import NodeId
 from ..net.message import sizes
 from ..sim.engine import Simulator
 from ..sim.process import PeriodicTask, Timer
+from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .backlog import ConnectionBacklog
 from .contact import Gateway, PrivateContact
 from .election import Heartbeat, LeaderElection
@@ -128,6 +129,7 @@ class _PendingExchange:
     attempts: int = 0
     timer: Timer | None = None
     started_at: float = 0.0
+    span: Span | None = None
 
 
 class PrivatePeerSamplingService:
@@ -143,6 +145,7 @@ class PrivatePeerSamplingService:
         sim: Simulator,
         rng: random.Random,
         config: PpssConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.group = group
         self.node_id = node_id
@@ -151,6 +154,7 @@ class PrivatePeerSamplingService:
         self.provider = provider
         self._sim = sim
         self._rng = rng
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.config = config if config is not None else PpssConfig()
         self.state = MemberState.JOINING
         self.keyring = GroupKeyring(group=group)
@@ -354,6 +358,13 @@ class PrivatePeerSamplingService:
         if self.state is not MemberState.MEMBER:
             return
         self.stats.cycles += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("ppss.cycles", node=self.node_id, layer="ppss").inc()
+            tel.gauge(
+                "ppss.view_size", node=self.node_id, layer="ppss",
+                group=self.group,
+            ).set(len(self._view))
         self._age_view()
         if self.config.heartbeat_enabled:
             self.election.on_cycle(self._sim.now, epoch=len(self.keyring.history))
@@ -375,6 +386,11 @@ class PrivatePeerSamplingService:
         pending = _PendingExchange(
             xid=next(_xid_counter), partner=partner, started_at=self._sim.now
         )
+        if self.telemetry.enabled:
+            pending.span = self.telemetry.span_start(
+                "ppss.exchange", node=self.node_id, layer="ppss",
+                partner=partner.node_id,
+            )
         self._pending[pending.xid] = pending
         self._attempt_exchange(pending)
 
@@ -429,6 +445,18 @@ class PrivatePeerSamplingService:
             self.stats.partners_evicted += 1
             self._view.pop(pending.partner.node_id, None)
             self._pcp.pop(pending.partner.node_id, None)
+        tel = self.telemetry
+        if tel.enabled:
+            if pending.span is not None:
+                tel.span_end(
+                    pending.span, outcome=outcome, attempts=pending.attempts
+                )
+            tel.counter(
+                "ppss.exchange_outcome", layer="ppss", outcome=outcome
+            ).inc()
+            tel.histogram("ppss.exchange_s", layer="ppss").observe(
+                self._sim.now - pending.started_at
+            )
         if self.exchange_outcome_hook is not None:
             self.exchange_outcome_hook(
                 outcome, pending.attempts, pending.partner.node_id,
@@ -492,6 +520,9 @@ class PrivatePeerSamplingService:
         # Everything else requires a valid passport.
         if not self._passport_ok(body):
             self.stats.passport_rejections += 1
+            self.telemetry.counter(
+                "ppss.passport_rejections", node=self.node_id, layer="ppss"
+            ).inc()
             return
         self._absorb_piggybacks(body)
         if msg_type == "ppss.request":
@@ -531,6 +562,9 @@ class PrivatePeerSamplingService:
     # -- view exchanges -------------------------------------------------
     def _on_request(self, body: dict[str, Any]) -> None:
         self.stats.responses_served += 1
+        self.telemetry.counter(
+            "ppss.responses_served", node=self.node_id, layer="ppss"
+        ).inc()
         sender: PrivateContact = body["sender"]
         response = self._exchange_body("ppss.response", body["xid"])
         self._merge(body["buffer"], sender)

@@ -18,7 +18,7 @@ exactly the retry scheme evaluated in Table I.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..crypto.provider import CryptoError, CryptoProvider, KeyPair, PublicKey
@@ -26,11 +26,12 @@ from ..nat.traversal import ConnectionManager, NodeDescriptor
 from ..net.address import Endpoint, NodeId, NodeKind
 from ..nat.types import NatType
 from ..sim.engine import Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import ConnectionBacklog
 from .contact import Gateway, PrivateContact
 from .onion import HopSpec, OnionPacket, build_onion, peel
 
-__all__ = ["WhisperCommunicationLayer", "AttemptInfo", "WclStats", "TraceLog"]
+__all__ = ["WhisperCommunicationLayer", "AttemptInfo", "WclStats"]
 
 ReceiveUpcall = Callable[[Any, int], None]
 
@@ -57,27 +58,6 @@ class WclStats:
     forward_failures: int = 0  # next-hop session was gone
 
 
-@dataclass
-class TraceLog:
-    """Measurement-only event log (drives the Fig. 7 breakdown)."""
-
-    enabled: bool = False
-    events: list[tuple[str, int, NodeId, float, float]] = field(default_factory=list)
-
-    def record(
-        self, event: str, trace_id: int, node: NodeId, time: float, ms: float = 0.0
-    ) -> None:
-        if self.enabled:
-            self.events.append((event, trace_id, node, time, ms))
-
-    def by_trace(self, trace_id: int) -> list[tuple[str, NodeId, float, float]]:
-        return [
-            (event, node, time, ms)
-            for (event, tid, node, time, ms) in self.events
-            if tid == trace_id
-        ]
-
-
 class WhisperCommunicationLayer:
     """One node's WCL endpoint."""
 
@@ -90,7 +70,7 @@ class WhisperCommunicationLayer:
         provider: CryptoProvider,
         sim: Simulator,
         rng: random.Random,
-        trace: TraceLog | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.node_id = node_id
         self.keypair = keypair
@@ -99,7 +79,7 @@ class WhisperCommunicationLayer:
         self.provider = provider
         self._sim = sim
         self._rng = rng
-        self.trace = trace if trace is not None else TraceLog()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = WclStats()
         self._receive_upcall: ReceiveUpcall | None = None
 
@@ -143,6 +123,7 @@ class WhisperCommunicationLayer:
         pair = self._select_mixes(contact, exclude)
         if pair is None:
             self.stats.no_path += 1
+            self.telemetry.counter("wcl.no_path", node=self.node_id, layer="wcl").inc()
             return None
         first, second = pair
         middles = self._select_middle_mixes(
@@ -150,6 +131,7 @@ class WhisperCommunicationLayer:
         )
         if len(middles) < mixes - 2:
             self.stats.no_path += 1
+            self.telemetry.counter("wcl.no_path", node=self.node_id, layer="wcl").inc()
             return None
         dest_endpoint = (
             contact.descriptor.public_endpoint if contact.is_public else None
@@ -174,9 +156,17 @@ class WhisperCommunicationLayer:
             node=self.node_id, context=context,
         )
         build_ms = self._charged_ms() - build_start_ms
-        self.trace.record(
-            f"{context}.build", packet.trace_id, self.node_id, self._sim.now, build_ms
-        )
+        tel = self.telemetry
+        if tel.enabled:
+            # The span covers the CPU time the build charges: the packet hits
+            # the wire exactly when the span closes.
+            span = tel.span_start(
+                f"{context}.build", trace_id=packet.trace_id,
+                node=self.node_id, layer="wcl", ms=build_ms, hops=len(path),
+            )
+            tel.span_end(span, at=self._sim.now + build_ms / 1000.0)
+            tel.counter("wcl.sent", node=self.node_id, layer="wcl").inc()
+            tel.histogram("wcl.build_ms", layer="wcl").observe(build_ms)
         # The CPU time spent building the onion delays the transmission.
         self._sim.schedule(
             build_ms / 1000.0,
@@ -201,7 +191,10 @@ class WhisperCommunicationLayer:
         return candidates[:count]
 
     def _emit(self, first_mix: NodeId, packet: OnionPacket, context: str) -> None:
-        self.trace.record(f"{context}.sent", packet.trace_id, self.node_id, self._sim.now)
+        self.telemetry.instant(
+            f"{context}.sent", trace_id=packet.trace_id,
+            node=self.node_id, layer="wcl",
+        )
         self.cm.send_via_session(
             first_mix, "wcl.onion", packet, packet.wire_size, "wcl"
         )
@@ -246,6 +239,7 @@ class WhisperCommunicationLayer:
     # ------------------------------------------------------------------
     def handle_onion(self, packet: OnionPacket) -> None:
         """An onion arrived over one of our sessions: peel, then act."""
+        tel = self.telemetry
         decrypt_start_ms = self._charged_ms()
         try:
             layer, forward = peel(
@@ -254,11 +248,17 @@ class WhisperCommunicationLayer:
             )
         except CryptoError:
             self.stats.misrouted += 1
+            tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
             return
         decrypt_ms = self._charged_ms() - decrypt_start_ms
-        self.trace.record(
-            "wcl.peel", packet.trace_id, self.node_id, self._sim.now, decrypt_ms
-        )
+        if tel.enabled:
+            span = tel.span_start(
+                "wcl.peel", trace_id=packet.trace_id, node=self.node_id,
+                layer="wcl", ms=decrypt_ms,
+                role="dest" if forward is None else "mix",
+            )
+            tel.span_end(span, at=self._sim.now + decrypt_ms / 1000.0)
+            tel.histogram("wcl.peel_ms", layer="wcl").observe(decrypt_ms)
         delay = decrypt_ms / 1000.0
         if forward is None:
             # We are the destination: recover the content with k.
@@ -269,11 +269,15 @@ class WhisperCommunicationLayer:
                 )
             except CryptoError:
                 self.stats.misrouted += 1
+                tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
                 return
             self.stats.delivered += 1
-            self.trace.record(
-                "wcl.delivered", packet.trace_id, self.node_id, self._sim.now
-            )
+            if tel.enabled:
+                tel.instant(
+                    "wcl.delivered", trace_id=packet.trace_id,
+                    node=self.node_id, layer="wcl",
+                )
+                tel.counter("wcl.delivered", node=self.node_id, layer="wcl").inc()
             if self._receive_upcall is not None:
                 upcall = self._receive_upcall
                 self._sim.schedule(
@@ -283,6 +287,7 @@ class WhisperCommunicationLayer:
         next_hop = layer.next_hop
         assert next_hop is not None
         self.stats.forwarded += 1
+        tel.counter("wcl.forwarded", node=self.node_id, layer="wcl").inc()
         self._sim.schedule(
             delay, lambda: self._forward(next_hop, forward)
         )
@@ -313,6 +318,9 @@ class WhisperCommunicationLayer:
         # A mix cannot report the break without revealing path structure;
         # the source recovers by end-to-end timeout (Table I "Alt." rows).
         self.stats.forward_failures += 1
+        self.telemetry.counter(
+            "wcl.forward_failures", node=self.node_id, layer="wcl"
+        ).inc()
 
     # ------------------------------------------------------------------
     def _charged_ms(self) -> float:

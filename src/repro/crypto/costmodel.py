@@ -17,8 +17,13 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..net.address import NodeId
+from ..telemetry import NULL_TELEMETRY
+
+if TYPE_CHECKING:
+    from ..telemetry import Telemetry
 
 __all__ = ["CostModel", "CpuAccountant", "OpRecord", "PAPER_COSTS"]
 
@@ -80,9 +85,17 @@ class CpuAccountant:
     ) -> None:
         self.model = model if model is not None else PAPER_COSTS
         self._rng = rng
+        self._telemetry = NULL_TELEMETRY
         self._records: dict[NodeId, dict[tuple[str, str], OpRecord]] = defaultdict(
             lambda: defaultdict(OpRecord)
         )
+
+    def bind_telemetry(self, telemetry: "Telemetry") -> None:
+        """Mirror every charged operation into telemetry counters.
+
+        ``crypto.ms`` / ``crypto.ops`` are labelled (node, op) so Table II
+        can read per-node AES vs RSA totals straight from the registry."""
+        self._telemetry = telemetry
 
     def _jitter(self, ms: float) -> float:
         """Multiplicative load jitter; identity without an RNG (unit tests)."""
@@ -95,6 +108,10 @@ class CpuAccountant:
     # callers can also apply it as a processing delay.
     def charge(self, node: NodeId, op: str, ms: float, context: str = "") -> float:
         self._records[node][(op, context)].add(ms)
+        tel = self._telemetry
+        if tel.enabled:
+            tel.counter("crypto.ms", node=node, op=op, layer="crypto").inc(ms)
+            tel.counter("crypto.ops", node=node, op=op, layer="crypto").inc()
         return ms / 1000.0
 
     def rsa_decrypt(self, node: NodeId, context: str = "") -> float:

@@ -3,7 +3,14 @@
 CDFs over ~1,500 confidential private-view exchanges on the two testbeds
 (1,000-node cluster / 400-node PlanetLab): total RTT, onion path build time
 at the source (request and response sides), per-exchange RSA decrypt time
-along the path, and the residual network routing time.
+along the path, and the wire transit time.
+
+All components are derived from the telemetry subsystem: ``ppss.*.build``
+spans carry the charged build CPU, ``wcl.peel`` spans the per-hop decrypt
+CPU, and each onion's wire transit is the gap between its ``*.sent`` and
+``wcl.delivered`` instants minus the mix CPU spent en route.  Onions whose
+trace crossed a ``nat.relay`` instant are reported separately from those
+that travelled direct sessions only.
 
 Expected shape: network delays dominate; path building and layer decrypts
 are roughly two orders of magnitude below the RTT; on the cluster all
@@ -13,6 +20,7 @@ exchanges finish < 500 ms, on PlanetLab > 80% within 2 s.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 
 from ..core.ppss import PpssConfig
 from ..harness.report import CdfSummary, Report, Table
@@ -55,7 +63,7 @@ def _run_testbed(
     target_exchanges: int,
     group_count: int,
 ) -> None:
-    world = World(WorldConfig(seed=seed, latency=latency, trace_enabled=True))
+    world = World(WorldConfig(seed=seed, latency=latency, telemetry_enabled=True))
     world.populate(n_nodes)
     world.start_all()
     world.run(150.0)
@@ -83,8 +91,7 @@ def _run_testbed(
             break
         world.run(60.0)
 
-    build_req, build_resp, peels = _trace_breakdown(world)
-    routing = _routing_residual(rtts, build_req, build_resp, peels)
+    breakdown = _span_breakdown(world)
     title = f"{latency}, {n_nodes} nodes"
     table = Table(
         title=f"{title}: component medians",
@@ -92,10 +99,11 @@ def _run_testbed(
     )
     for label, series in (
         ("total rtt", rtts),
-        ("build WCL path (request)", build_req),
-        ("build WCL path (response)", build_resp),
-        ("RSA decrypts (per onion)", peels),
-        ("WCL routing (residual)", routing),
+        ("build WCL path (request)", breakdown.build_req),
+        ("build WCL path (response)", breakdown.build_resp),
+        ("RSA decrypts (per onion)", breakdown.peels),
+        ("onion transit (direct hops)", breakdown.transit_direct),
+        ("onion transit (>=1 relay hop)", breakdown.transit_relayed),
     ):
         if series:
             table.add_row(label, percentile(series, 50), percentile(series, 90),
@@ -105,45 +113,76 @@ def _run_testbed(
     report.add(table)
     report.add(CdfSummary(title=f"{title}: total RTT", samples=rtts, unit="s"))
     report.add(CdfSummary(
-        title=f"{title}: path build (request)", samples=build_req, unit="s",
+        title=f"{title}: path build (request)",
+        samples=breakdown.build_req, unit="s",
     ))
     report.add(CdfSummary(
-        title=f"{title}: RSA decrypts per onion", samples=peels, unit="s",
+        title=f"{title}: RSA decrypts per onion",
+        samples=breakdown.peels, unit="s",
+    ))
+    report.add(CdfSummary(
+        title=f"{title}: onion wire transit",
+        samples=breakdown.transit_direct + breakdown.transit_relayed, unit="s",
     ))
 
 
-def _trace_breakdown(world: World):
-    """Pull per-onion crypto timings out of the measurement trace."""
+@dataclass
+class _Breakdown:
+    """Per-component sample series pulled from the telemetry spans."""
+
+    build_req: list[float]
+    build_resp: list[float]
+    peels: list[float]  # summed decrypt CPU per onion
+    transit_direct: list[float]  # wire time, direct sessions only
+    transit_relayed: list[float]  # wire time, >=1 Nylon relay hop
+
+
+def _span_breakdown(world: World) -> _Breakdown:
+    """Derive Fig. 7's components from the telemetry span store.
+
+    Build and peel spans carry the charged CPU milliseconds as a ``ms``
+    attribute.  Wire transit is measured per onion as the gap between the
+    source's ``*.sent`` instant and the destination's ``wcl.delivered``
+    instant, minus the mix-side peel CPU spent en route (the destination's
+    own decrypt happens after delivery, so it is excluded by role).  A
+    ``nat.relay`` instant tagged with the onion's trace id classifies the
+    path as having crossed at least one relay hop.
+    """
+    tel = world.telemetry
     build_req: list[float] = []
     build_resp: list[float] = []
-    peel_ms: dict[int, float] = defaultdict(float)
-    request_traces: set[int] = set()
-    response_traces: set[int] = set()
-    for event, trace_id, _node, _time, ms in world.trace.events:
-        if event == "ppss.request.build":
-            build_req.append(ms / 1000.0)
-            request_traces.add(trace_id)
-        elif event == "ppss.response.build":
-            build_resp.append(ms / 1000.0)
-            response_traces.add(trace_id)
-        elif event == "wcl.peel":
-            peel_ms[trace_id] += ms
-    peels = [
-        total / 1000.0
-        for tid, total in peel_ms.items()
-        if tid in request_traces or tid in response_traces
-    ]
-    return build_req, build_resp, peels
-
-
-def _routing_residual(rtts, build_req, build_resp, peels):
-    """Network share of the RTT: total minus typical crypto components."""
-    if not rtts:
-        return []
-    crypto = 0.0
-    for series in (build_req, build_resp):
-        if series:
-            crypto += percentile(series, 50)
-    if peels:
-        crypto += 2 * percentile(peels, 50)  # request + response onions
-    return [max(rtt - crypto, 0.0) for rtt in rtts]
+    wanted: set[int] = set()
+    for span in tel.spans_named("ppss.request.build"):
+        build_req.append(span.attrs["ms"] / 1000.0)
+        wanted.add(span.trace_id)
+    for span in tel.spans_named("ppss.response.build"):
+        build_resp.append(span.attrs["ms"] / 1000.0)
+        wanted.add(span.trace_id)
+    peel_s: dict[int, float] = defaultdict(float)
+    mix_cpu_s: dict[int, float] = defaultdict(float)
+    for span in tel.spans_named("wcl.peel"):
+        if span.trace_id in wanted:
+            peel_s[span.trace_id] += span.attrs["ms"] / 1000.0
+            if span.attrs.get("role") == "mix":
+                mix_cpu_s[span.trace_id] += span.attrs["ms"] / 1000.0
+    sent_at: dict[int, float] = {}
+    for name in ("ppss.request.sent", "ppss.response.sent"):
+        for span in tel.spans_named(name):
+            sent_at.setdefault(span.trace_id, span.start)
+    delivered_at: dict[int, float] = {}
+    for span in tel.spans_named("wcl.delivered"):
+        if span.trace_id in wanted:
+            delivered_at.setdefault(span.trace_id, span.start)
+    relayed = {
+        s.trace_id for s in tel.spans_named("nat.relay") if s.trace_id in wanted
+    }
+    transit_direct: list[float] = []
+    transit_relayed: list[float] = []
+    for tid, t_sent in sorted(sent_at.items()):
+        t_done = delivered_at.get(tid)
+        if t_done is None:
+            continue  # onion lost or still in flight at measurement end
+        transit = max(t_done - t_sent - mix_cpu_s.get(tid, 0.0), 0.0)
+        (transit_relayed if tid in relayed else transit_direct).append(transit)
+    peels = [peel_s[tid] for tid in sorted(peel_s)]
+    return _Breakdown(build_req, build_resp, peels, transit_direct, transit_relayed)

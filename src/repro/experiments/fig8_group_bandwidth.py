@@ -5,6 +5,10 @@ and leads one).  The number of groups each node subscribes to sweeps 1, 2,
 4, ..., 32; the result is the distribution (stacked percentiles
 5/25/50/75/90) of upload and download bandwidth for P-nodes and N-nodes.
 
+Per-node byte totals come from the telemetry counters ``net.up_bytes`` /
+``net.down_bytes`` maintained by the network fabric; the measurement window
+is the difference between two counter snapshots.
+
 Expected shape: bandwidth grows linearly with the number of subscribed
 groups; P-nodes pay more than N-nodes (mix/gateway duty) but stay within
 reasonable bounds.
@@ -62,7 +66,9 @@ def run(
 
 
 def _run_one(per_node: int, seed: int, n_nodes: int, window_cycles: int):
-    world = World(WorldConfig(seed=seed, latency="planetlab"))
+    world = World(
+        WorldConfig(seed=seed, latency="planetlab", telemetry_enabled=True)
+    )
     world.populate(n_nodes)
     world.start_all()
     world.run(120.0)
@@ -73,11 +79,11 @@ def _run_one(per_node: int, seed: int, n_nodes: int, window_cycles: int):
     subscribe_groups(world, plan, per_node=per_node)
     # Joins are retried every 15 s; give larger memberships longer to settle.
     world.run(180.0 + 10.0 * per_node)
-    accountant = world.network.accountant
-    accountant.snapshot()
+    metrics = world.telemetry.metrics
+    before = _per_node_bytes(metrics)
     window_seconds = window_cycles * 60.0
     world.run(window_seconds)
-    window = accountant.snapshot()
+    after = _per_node_bytes(metrics)
 
     rows = []
     for direction in ("up", "down"):
@@ -86,12 +92,17 @@ def _run_one(per_node: int, seed: int, n_nodes: int, window_cycles: int):
             for node in world.alive_nodes():
                 if node.cm.kind is not kind:
                     continue
-                totals = window.get(node.node_id)
-                byte_count = 0
-                if totals is not None:
-                    byte_count = (
-                        totals.up_bytes if direction == "up" else totals.down_bytes
-                    )
+                byte_count = after[direction].get(node.node_id, 0) - before[
+                    direction
+                ].get(node.node_id, 0)
                 samples.append(byte_count / window_seconds / 1024.0)
             rows.append(stacked_percentiles(samples))
     return rows
+
+
+def _per_node_bytes(metrics) -> dict[str, dict[object, float]]:
+    """Per-node cumulative byte totals from the fabric's telemetry counters."""
+    return {
+        "up": metrics.values_by_label("net.up_bytes", "node"),
+        "down": metrics.values_by_label("net.down_bytes", "node"),
+    }

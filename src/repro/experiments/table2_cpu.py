@@ -3,7 +3,8 @@
 1,000 nodes on the cluster, 20 private groups, Π = 3, 1-minute PPSS
 cycles.  Measures the average simulated CPU time each node class (N vs P)
 spends per cycle on AES (bulk payload encryption) and RSA (onion layer
-sealing/peeling and passports), using the calibrated cost model.
+sealing/peeling and passports), read from the ``crypto.ms`` / ``crypto.ops``
+telemetry counters the calibrated cost model maintains per (node, op).
 
 Expected shape: RSA dominates AES by orders of magnitude; P-nodes spend
 about 2x the total CPU of N-nodes because WCL path construction makes them
@@ -31,7 +32,7 @@ def run(
     report = Report(title="Table II — CPU time per PPSS cycle (AES vs RSA)")
     n_nodes = scaled(1000, scale, minimum=120)
     cycle = 60.0
-    world = World(WorldConfig(seed=seed))
+    world = World(WorldConfig(seed=seed, telemetry_enabled=True))
     world.populate(n_nodes)
     world.start_all()
     world.run(150.0)
@@ -76,21 +77,26 @@ def run(
 
 
 def _snapshot(world: World) -> dict:
-    acct = world.provider.accountant
-    state = {}
-    for node in world.alive_nodes():
-        breakdown = acct.op_breakdown(node.node_id)
-        state[node.node_id] = {
-            "aes": breakdown.get("aes").total_ms if "aes" in breakdown else 0.0,
-            "rsa": sum(
-                record.total_ms
-                for op, record in breakdown.items()
-                if op.startswith("rsa")
-            ),
-            "decrypts": (
-                breakdown["rsa_decrypt"].count if "rsa_decrypt" in breakdown else 0
-            ),
-        }
+    """Per-node AES/RSA totals from the crypto telemetry counters."""
+    metrics = world.telemetry.metrics
+    state: dict = {}
+
+    def entry(node_id) -> dict:
+        return state.setdefault(
+            node_id, {"aes": 0.0, "rsa": 0.0, "decrypts": 0.0}
+        )
+
+    for labels, counter in metrics.collect("crypto.ms").items():
+        label_map = dict(labels)
+        op = str(label_map["op"])
+        if op == "aes":
+            entry(label_map["node"])["aes"] += counter.value
+        elif op.startswith("rsa"):
+            entry(label_map["node"])["rsa"] += counter.value
+    for labels, counter in metrics.collect("crypto.ops").items():
+        label_map = dict(labels)
+        if label_map["op"] == "rsa_decrypt":
+            entry(label_map["node"])["decrypts"] += counter.value
     return state
 
 

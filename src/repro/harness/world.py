@@ -13,7 +13,6 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..core.node import WhisperConfig, WhisperNode
-from ..core.wcl import TraceLog
 from ..crypto.costmodel import CostModel, CpuAccountant
 from ..crypto.provider import CryptoProvider, RealCryptoProvider, SimCryptoProvider
 from ..nat.topology import NatTopology
@@ -30,6 +29,7 @@ from ..net.network import Network
 from ..metrics.graph import ViewGraph
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
+from ..telemetry import Telemetry
 
 __all__ = ["WorldConfig", "World"]
 
@@ -53,7 +53,8 @@ class WorldConfig:
     exact_ratio: bool = True  # enforce the N:P ratio exactly, not in expectation
     introducer_count: int = 5
     whisper: WhisperConfig = field(default_factory=WhisperConfig)
-    trace_enabled: bool = False
+    telemetry_enabled: bool = False
+    trace_enabled: bool = False  # legacy alias; either flag turns telemetry on
     cost_model: CostModel = field(default_factory=CostModel)
 
 
@@ -63,16 +64,24 @@ class World:
     def __init__(self, config: WorldConfig | None = None) -> None:
         self.config = config if config is not None else WorldConfig()
         self.sim = Simulator()
+        self.telemetry = Telemetry(
+            clock=lambda: self.sim.now,
+            enabled=self.config.telemetry_enabled or self.config.trace_enabled,
+        )
+        self.sim.bind_telemetry(self.telemetry)
         self.registry = RngRegistry(self.config.seed)
         self.topology = NatTopology(
             self.registry.stream("nat"), natted_fraction=self.config.natted_fraction
         )
-        self.network = Network(self.sim, self.topology, self._make_latency())
+        self.network = Network(
+            self.sim, self.topology, self._make_latency(),
+            telemetry=self.telemetry,
+        )
         self.accountant = CpuAccountant(
             self.config.cost_model, rng=self.registry.stream("cpu")
         )
+        self.accountant.bind_telemetry(self.telemetry)
         self.provider = self._make_provider()
-        self.trace = TraceLog(enabled=self.config.trace_enabled)
         self.nodes: dict[NodeId, WhisperNode] = {}
         self._ids = itertools.count(1)
         self._nat_cycle = itertools.cycle(EMULATED_TYPES)
@@ -134,7 +143,7 @@ class World:
             provider=self.provider,
             rng=self.registry.fork(f"node-{node_id}").stream("main"),
             config=self.config.whisper,
-            trace=self.trace,
+            telemetry=self.telemetry,
         )
         self.nodes[node_id] = node
         return node

@@ -41,6 +41,7 @@ from ..net.address import Endpoint, NodeId, NodeKind, Protocol
 from ..net.message import Message, sizes
 from ..net.network import Network
 from ..sim.engine import Simulator
+from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .types import NatType, hole_punching_possible
 
 __all__ = [
@@ -139,6 +140,7 @@ class _PendingConnect:
     on_fail: list[Callable[[str], None]] = field(default_factory=list)
     timer_event: object | None = None
     settled: bool = False
+    span: Span | None = None
 
 
 class ConnectionManager:
@@ -159,12 +161,14 @@ class ConnectionManager:
         network: Network,
         policy: TraversalPolicy | None = None,
         deliver_upcall: Callable[[NodeId, str, object, int], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.node_id = node_id
         self.nat_type = nat_type
         self._sim = sim
         self._net = network
         self.policy = policy if policy is not None else TraversalPolicy()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._sessions: dict[NodeId, Session] = {}
         self._pending: dict[NodeId, _PendingConnect] = {}
         self._reflexive: Endpoint | None = None
@@ -295,6 +299,11 @@ class ConnectionManager:
         pending = _PendingConnect(target=target, route=descriptor.route)
         pending.on_ready.append(on_ready)
         pending.on_fail.append(on_fail)
+        if self.telemetry.enabled:
+            pending.span = self.telemetry.span_start(
+                "nat.connect", node=self.node_id, layer="nat",
+                target=target, route_len=len(descriptor.route),
+            )
         pending.timer_event = self._sim.schedule(
             timeout, lambda: self._settle(target, error="connect timeout")
         )
@@ -318,6 +327,14 @@ class ConnectionManager:
         pending.settled = True
         if pending.timer_event is not None:
             pending.timer_event.cancel()  # type: ignore[attr-defined]
+        if pending.span is not None:
+            self.telemetry.span_end(
+                pending.span, ok=error is None, error=error,
+            )
+        self.telemetry.counter(
+            "nat.connects", layer="nat",
+            outcome="ok" if error is None else "fail",
+        ).inc()
         if error is None:
             for callback in pending.on_ready:
                 callback()
@@ -465,6 +482,18 @@ class ConnectionManager:
             envelope["inner_size"] + sizes.connect_control, "nat.relay",
         ):
             self.stats_relayed += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.counter("nat.relayed", node=self.node_id, layer="nat").inc()
+                if envelope["kind"] == "wcl.onion":
+                    # An honest-but-curious relay forwarding an onion: the
+                    # measurement-only trace id on the packet lets Fig. 7
+                    # attribute the relay hop — the protocol itself never
+                    # reads it (see core/onion.py).
+                    tel.instant(
+                        "nat.relay", node=self.node_id, layer="nat",
+                        trace_id=getattr(envelope["payload"], "trace_id", None),
+                    )
 
     def _on_connect(self, request: dict) -> None:
         target: NodeId = request["target"]
@@ -541,6 +570,7 @@ class ConnectionManager:
                     {"from": self.node_id}, sizes.connect_control, "nat",
                 )
             self.stats_punches += 1
+            self.telemetry.counter("nat.punches", layer="nat").inc()
         else:
             # The rendezvous chain stays on the path: our replies travel the
             # reversed chain (RV first, then the hops back to the requester;
@@ -549,6 +579,7 @@ class ConnectionManager:
             reverse_chain = tuple(reversed(reply_path[1:])) or (rv,)
             self._install_session(requester, endpoint=None, relay=reverse_chain)
             self.stats_relay_sessions += 1
+            self.telemetry.counter("nat.relay_sessions", layer="nat").inc()
         accept = {
             "path": offer["reply_path"],
             "target": self.node_id,
@@ -586,6 +617,7 @@ class ConnectionManager:
             )
             self._install_session(target, endpoint=None, relay=tuple(chain))
             self.stats_relay_sessions += 1
+            self.telemetry.counter("nat.relay_sessions", layer="nat").inc()
         self._settle(target, error=None)
 
     def _on_hello(self, message: Message) -> None:

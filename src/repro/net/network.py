@@ -17,9 +17,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from ..sim.engine import Simulator
+from ..telemetry import NULL_TELEMETRY
 
 if TYPE_CHECKING:  # avoid a runtime net <-> nat import cycle
     from ..nat.topology import NatTopology
+    from ..telemetry import Telemetry
 from .address import Endpoint, NodeId, Protocol
 from .bandwidth import BandwidthAccountant
 from .latency import LatencyModel
@@ -53,11 +55,13 @@ class Network:
         topology: "NatTopology",
         latency: LatencyModel,
         accountant: BandwidthAccountant | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self._sim = sim
         self._topology = topology
         self._latency = latency
         self.accountant = accountant if accountant is not None else BandwidthAccountant()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._handlers: dict[NodeId, Handler] = {}
         self._observers: list[LinkObserver] = []
         self.stats = NetworkStats()
@@ -111,8 +115,14 @@ class Network:
         visible_src = self._topology.translate_outbound(src_node, dst, protocol, now)
         self.stats.sent += 1
         self.accountant.record(src_node, -1, size_bytes, category)  # upload side
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
+            tel.counter("net.up_bytes", node=src_node, layer="net").inc(size_bytes)
+            tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
         if self._latency.is_lost(src_node, self._owner_hint(dst)):
             self.stats.lost += 1
+            tel.counter("net.lost", layer="net").inc()
             self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
             return
         delay = self._latency.delay(src_node, self._owner_hint(dst), size_bytes)
@@ -133,8 +143,10 @@ class Network:
         owner = self._topology.resolve_inbound(
             message.dst, message.src, message.protocol, now
         )
+        tel = self.telemetry
         if owner is None:
             self.stats.filtered += 1
+            tel.counter("net.filtered", layer="net").inc()
             self._observe(
                 src_node, None, message.src, message.dst, message.kind,
                 message.payload, message.size_bytes,
@@ -147,9 +159,21 @@ class Network:
         )
         if handler is None:
             self.stats.no_handler += 1
+            tel.counter("net.no_handler", layer="net").inc()
             return
         self.stats.delivered += 1
         self.accountant.record(-1, owner, message.size_bytes, category)
+        if tel.enabled:
+            tel.counter("net.msgs_delivered", node=owner, layer="net").inc()
+            tel.counter("net.down_bytes", node=owner, layer="net").inc(
+                message.size_bytes
+            )
+            tel.counter(
+                "net.link.msgs", src=src_node, dst=owner, layer="net"
+            ).inc()
+            tel.counter(
+                "net.link.bytes", src=src_node, dst=owner, layer="net"
+            ).inc(message.size_bytes)
         handler(message)
 
     # ------------------------------------------------------------------

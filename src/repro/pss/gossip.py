@@ -34,6 +34,7 @@ from ..net.address import NodeId
 from ..net.message import sizes
 from ..sim.engine import Simulator
 from ..sim.process import PeriodicTask, Timer
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .policies import HealerPolicy, TruncationPolicy
 from .view import View, ViewEntry
 
@@ -83,11 +84,13 @@ class PeerSamplingService:
         config: PssConfig | None = None,
         policy: TruncationPolicy | None = None,
         public_key: PublicKey | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.node_id = node_id
         self.cm = cm
         self._sim = sim
         self._rng = rng
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.config = config if config is not None else PssConfig()
         self.policy = (
             policy if policy is not None else HealerPolicy(self.config.view_size)
@@ -158,6 +161,12 @@ class PeerSamplingService:
     # ------------------------------------------------------------------
     def _cycle(self) -> None:
         self.stats.cycles += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("pss.cycles", node=self.node_id, layer="pss").inc()
+            tel.gauge("pss.view_size", node=self.node_id, layer="pss").set(
+                len(self.view)
+            )
         self.view.increment_ages()
         partner = self.view.oldest()
         if partner is None:
@@ -177,6 +186,9 @@ class PeerSamplingService:
 
     def _contact_failed(self, target: NodeId) -> None:
         self.stats.contact_failures += 1
+        self.telemetry.counter(
+            "pss.contact_failures", node=self.node_id, layer="pss"
+        ).inc()
         self.view.remove(target)
         for listener in self._failure_listeners:
             listener(target)
@@ -200,6 +212,9 @@ class PeerSamplingService:
     def _response_timeout(self, target: NodeId) -> None:
         self._pending.pop(target, None)
         self.stats.response_timeouts += 1
+        self.telemetry.counter(
+            "pss.response_timeouts", node=self.node_id, layer="pss"
+        ).inc()
         self.view.remove(target)
         self.cm.drop_session(target)
         for listener in self._failure_listeners:
@@ -391,6 +406,10 @@ class PeerSamplingService:
     def _record_exchange(
         self, peer: NodeDescriptor, key: PublicKey | None, initiated: bool
     ) -> None:
+        self.telemetry.counter(
+            "pss.exchanges", node=self.node_id, layer="pss",
+            role="initiator" if initiated else "responder",
+        ).inc()
         if key is not None:
             self.known_keys[peer.node_id] = key
             self._trim_known_keys()

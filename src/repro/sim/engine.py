@@ -16,7 +16,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..telemetry import NULL_TELEMETRY
+
+if TYPE_CHECKING:
+    from ..telemetry import Telemetry
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -58,12 +63,28 @@ class Simulator:
     the time of the last event unless ``run(until=...)`` asks it to.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, telemetry: "Telemetry | None" = None
+    ) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self.bind_telemetry(telemetry if telemetry is not None else NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry: "Telemetry") -> None:
+        """Attach a telemetry sink for event-loop statistics.
+
+        Instruments are cached here so the per-event cost with telemetry
+        disabled is one no-op method call on a shared singleton.
+        """
+        self._telemetry = telemetry
+        self._tel_fired = telemetry.counter("sim.events", layer="sim")
+        self._tel_scheduled = telemetry.counter("sim.scheduled", layer="sim")
+        self._tel_skipped = telemetry.counter("sim.cancelled_skipped", layer="sim")
+        self._tel_pending = telemetry.gauge("sim.pending", layer="sim")
+        self._tel_now = telemetry.gauge("sim.now", layer="sim")
 
     # ------------------------------------------------------------------
     # clock
@@ -107,6 +128,7 @@ class Simulator:
             )
         event = Event(time, priority, next(self._seq), callback)
         heapq.heappush(self._queue, event)
+        self._tel_scheduled.inc()
         return event
 
     # ------------------------------------------------------------------
@@ -117,9 +139,11 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._tel_skipped.inc()
                 continue
             self._now = event.time
             self._events_processed += 1
+            self._tel_fired.inc()
             event.callback()
             return True
         return False
@@ -150,6 +174,8 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self._tel_pending.set(len(self._queue))
+            self._tel_now.set(self._now)
 
     def _peek(self) -> Event | None:
         """Return the next live event without popping it."""

@@ -1,0 +1,109 @@
+"""Unified telemetry for the WHISPER stack: metrics, spans, trace export.
+
+One :class:`Telemetry` instance per :class:`~repro.harness.world.World`
+captures everything the evaluation needs — event-loop throughput, per-link
+traffic, per-hop onion timings, gossip rounds, NAT traversal outcomes and
+charged crypto CPU — on the *simulated* clock, so captures are deterministic
+and byte-identical across same-seed runs (see :mod:`.export`).
+
+The facade bundles a :class:`~.registry.MetricsRegistry` and a
+:class:`~.spans.Tracer` behind one object with pass-through helpers::
+
+    tel = Telemetry(clock=lambda: sim.now)
+    tel.counter("net.up_bytes", node=7, layer="net").inc(size)
+    with tel.span("wcl.build", trace_id=tid, node=7, layer="wcl"):
+        ...
+    tel.aggregate("crypto.ms")            # {"count": ..., "sum": ...}
+    tel.spans_by_trace(tid)               # the onion's full journey
+    tel.export_jsonl("trace.jsonl")       # deterministic JSONL
+
+``NULL_TELEMETRY`` is the shared disabled instance: protocol layers default
+to it so instrumentation costs one no-op call when telemetry is off and the
+layers never branch on an Optional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .export import export_jsonl, export_lines, load_jsonl
+from .instruments import Counter, Gauge, Histogram
+from .registry import MetricsRegistry
+from .spans import NOOP_SPAN, Span, Tracer
+from .summary import render_span_tree, render_trace_summary, summarize_file
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_TELEMETRY",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "export_jsonl",
+    "export_lines",
+    "load_jsonl",
+    "render_span_tree",
+    "render_trace_summary",
+    "summarize_file",
+]
+
+
+class Telemetry:
+    """Metrics registry + tracer sharing one enabled flag and clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(clock=clock, enabled=enabled)
+
+    # -- metrics pass-through ------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    def aggregate(
+        self, name: str, percentiles: tuple[float, ...] = (50.0, 90.0, 99.0)
+    ) -> dict[str, float]:
+        return self.metrics.aggregate(name, percentiles)
+
+    # -- tracing pass-through ------------------------------------------
+    def span_start(self, name: str, **kwargs: Any) -> Span:
+        return self.tracer.start(name, **kwargs)
+
+    def span_end(self, span: Span, **kwargs: Any) -> None:
+        self.tracer.end(span, **kwargs)
+
+    def span(self, name: str, **kwargs: Any):
+        return self.tracer.span(name, **kwargs)
+
+    def instant(self, name: str, **kwargs: Any) -> Span:
+        return self.tracer.instant(name, **kwargs)
+
+    def spans_by_trace(self, trace_id: int) -> list[Span]:
+        return self.tracer.spans_by_trace(trace_id)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return self.tracer.spans_named(name)
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: str | None = None) -> str:
+        return export_jsonl(self, path)
+
+    def render_summary(self) -> str:
+        return render_trace_summary(self.tracer.spans)
+
+
+NULL_TELEMETRY = Telemetry(enabled=False)
+"""Shared disabled instance used as the default by every protocol layer."""

@@ -1,0 +1,28 @@
+"""CLI: summarize an exported telemetry trace.
+
+Usage::
+
+    python -m repro.telemetry trace.jsonl
+
+Prints the span-name tally, example span trees for the busiest traces, and
+the counter/histogram highlights — the target of ``make trace``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .summary import summarize_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1 or args[0] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    print(summarize_file(args[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

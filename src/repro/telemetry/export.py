@@ -1,0 +1,148 @@
+"""Deterministic JSONL export of a telemetry capture.
+
+The export is the regression substrate: two same-seed runs must produce
+**byte-identical** files, so diffing traces catches any behavioural drift a
+perf PR introduces.  Determinism is engineered, not hoped for:
+
+- spans are emitted in (start, creation order) — both deterministic under
+  the simulator's total event order;
+- span ids, trace ids and parent references are *renumbered* in order of
+  first appearance.  Raw ids come from module-level counters (e.g. the
+  onion ``trace_id``) which keep counting across Worlds in one process;
+  renumbering makes the file a pure function of the run itself;
+- JSON is serialized with sorted keys and compact separators; floats use
+  Python's shortest-repr formatting, which is exact and stable.
+
+Line format (one JSON object each)::
+
+    {"kind":"meta","format":"whisper-telemetry","version":1}
+    {"kind":"span","id":1,"trace":1,"parent":null,"name":...,"node":...,
+     "layer":...,"start":...,"end":...,"attrs":{...}}
+    {"kind":"counter","name":...,"labels":{...},"value":...}
+    {"kind":"gauge",...}
+    {"kind":"histogram","name":...,"labels":{...},"count":...,"sum":...,
+     "min":...,"max":...,"p50":...,"p90":...,"p99":...}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .instruments import Counter, Gauge, Histogram
+from .registry import MetricsRegistry
+from .spans import Span, Tracer
+
+if TYPE_CHECKING:
+    from . import Telemetry
+
+__all__ = ["export_jsonl", "export_lines", "load_jsonl"]
+
+FORMAT_NAME = "whisper-telemetry"
+FORMAT_VERSION = 1
+_HISTOGRAM_LEVELS = (50.0, 90.0, 99.0)
+
+
+def _json(obj: dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def export_lines(telemetry: "Telemetry") -> Iterator[str]:
+    """Yield the JSONL lines (without newlines) for one capture."""
+    yield _json(
+        {"kind": "meta", "format": FORMAT_NAME, "version": FORMAT_VERSION}
+    )
+    yield from _span_lines(telemetry.tracer)
+    yield from _metric_lines(telemetry.metrics)
+
+
+def export_jsonl(telemetry: "Telemetry", path: str | None = None) -> str:
+    """Render the capture; write it to ``path`` when given."""
+    text = "\n".join(export_lines(telemetry)) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def _span_lines(tracer: Tracer) -> Iterator[str]:
+    ordered = sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+    span_ids: dict[int, int] = {}
+    trace_ids: dict[int, int] = {}
+    for span in ordered:
+        span_ids[span.span_id] = len(span_ids) + 1
+        if span.trace_id is not None and span.trace_id not in trace_ids:
+            trace_ids[span.trace_id] = len(trace_ids) + 1
+    for span in ordered:
+        yield _json(
+            {
+                "kind": "span",
+                "id": span_ids[span.span_id],
+                "trace": trace_ids.get(span.trace_id),
+                "parent": span_ids.get(span.parent_id),
+                "name": span.name,
+                "node": span.node,
+                "layer": span.layer,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs,
+            }
+        )
+
+
+def _metric_lines(registry: MetricsRegistry) -> Iterator[str]:
+    for (name, labels), metric in registry.items():
+        record: dict[str, Any] = {
+            "kind": metric.kind,
+            "name": name,
+            "labels": dict(labels),
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            record["value"] = metric.value
+        elif isinstance(metric, Histogram):
+            record["count"] = metric.count
+            record["sum"] = metric.sum
+            if metric.samples:
+                record["min"] = min(metric.samples)
+                record["max"] = max(metric.samples)
+                for q in _HISTOGRAM_LEVELS:
+                    record[f"p{q:g}"] = metric.quantile(q)
+        yield _json(record)
+
+
+def load_jsonl(path: str) -> tuple[list[Span], list[dict[str, Any]]]:
+    """Parse an exported file back into spans + metric records.
+
+    The spans come back as :class:`Span` objects (with the renumbered ids),
+    metrics as the raw dictionaries — enough for offline analysis and the
+    ``python -m repro.telemetry`` summary tool.
+    """
+    spans: list[Span] = []
+    metrics: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "meta":
+                if record.get("format") != FORMAT_NAME:
+                    raise ValueError(f"not a telemetry trace: {path}")
+            elif kind == "span":
+                spans.append(
+                    Span(
+                        span_id=record["id"],
+                        name=record["name"],
+                        start=record["start"],
+                        end=record["end"],
+                        trace_id=record.get("trace"),
+                        node=record.get("node"),
+                        layer=record.get("layer"),
+                        parent_id=record.get("parent"),
+                        attrs=record.get("attrs", {}),
+                    )
+                )
+            else:
+                metrics.append(record)
+    return spans, metrics

@@ -1,0 +1,142 @@
+"""Metric instruments: counters, gauges, histograms — plus no-op twins.
+
+Every instrument exists in two forms: a recording one handed out by an
+enabled :class:`~repro.telemetry.registry.MetricsRegistry`, and a shared
+no-op singleton handed out by a disabled registry.  Call sites therefore
+never branch on "is telemetry on?": they unconditionally call ``inc`` /
+``set`` / ``observe``, and the disabled path costs one empty method call.
+
+Counters accept float increments (the crypto layer mirrors charged CPU
+milliseconds through them), so "counter" here means *monotonic accumulator*
+rather than strictly integer count.
+"""
+
+from __future__ import annotations
+
+from ..metrics.stats import percentile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NoopCounter",
+    "NoopGauge",
+    "NoopHistogram",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+]
+
+
+class Counter:
+    """A monotonically increasing accumulator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, view sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A sample distribution; keeps raw samples for exact percentiles.
+
+    Simulation runs are bounded, so storing raw samples is affordable and
+    keeps ``aggregate`` exact rather than bucket-approximated.
+    """
+
+    __slots__ = ("name", "labels", "samples", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.samples: list[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+
+class NoopCounter:
+    """Shared do-nothing counter returned by disabled registries."""
+
+    __slots__ = ()
+
+    kind = "counter"
+    name = ""
+    labels: tuple[tuple[str, object], ...] = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class NoopGauge:
+    __slots__ = ()
+
+    kind = "gauge"
+    name = ""
+    labels: tuple[tuple[str, object], ...] = ()
+    value = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class NoopHistogram:
+    __slots__ = ()
+
+    kind = "histogram"
+    name = ""
+    labels: tuple[tuple[str, object], ...] = ()
+    samples: list[float] = []
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NOOP_COUNTER = NoopCounter()
+NOOP_GAUGE = NoopGauge()
+NOOP_HISTOGRAM = NoopHistogram()

@@ -1,0 +1,108 @@
+"""Human-readable views of a telemetry capture: span trees and top metrics.
+
+Used by ``make trace`` (via ``python -m repro.telemetry``) and handy from a
+REPL when poking at a live :class:`~repro.telemetry.Telemetry`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Iterable
+
+from .spans import Span
+
+__all__ = ["render_span_tree", "render_trace_summary", "summarize_file"]
+
+
+def _tree_order(spans: list[Span]) -> list[tuple[int, Span]]:
+    """(depth, span) pairs in depth-first order following parent links."""
+    by_parent: dict[int | None, list[Span]] = {}
+    known = {s.span_id for s in spans}
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        parent = span.parent_id if span.parent_id in known else None
+        by_parent.setdefault(parent, []).append(span)
+    out: list[tuple[int, Span]] = []
+
+    def _walk(parent: int | None, depth: int) -> None:
+        for span in by_parent.get(parent, []):
+            out.append((depth, span))
+            _walk(span.span_id, depth + 1)
+
+    _walk(None, 0)
+    return out
+
+
+def render_span_tree(spans: list[Span], indent: str = "  ") -> str:
+    """One line per span, indented by parent nesting, timeline-ordered."""
+    lines = []
+    for depth, span in _tree_order(spans):
+        duration = f"{span.duration * 1000.0:8.3f} ms" if span.finished else "   (open)"
+        where = []
+        if span.node is not None:
+            where.append(f"node={span.node}")
+        if span.layer:
+            where.append(span.layer)
+        suffix = f"  [{' '.join(where)}]" if where else ""
+        lines.append(
+            f"{span.start:10.3f}s {duration} {indent * depth}{span.name}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_summary(
+    spans: Iterable[Span], max_traces: int = 3, max_spans: int = 40
+) -> str:
+    """Aggregate span-name tallies plus example per-trace trees."""
+    spans = list(spans)
+    lines = [f"spans: {len(spans)}"]
+    tally = TallyCounter(span.name for span in spans)
+    width = max((len(name) for name in tally), default=4)
+    for name, count in sorted(tally.items()):
+        total_ms = sum(s.duration for s in spans if s.name == name) * 1000.0
+        lines.append(f"  {name.ljust(width)}  x{count:<6d} {total_ms:10.3f} ms total")
+    traces: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.trace_id is not None:
+            traces.setdefault(span.trace_id, []).append(span)
+    lines.append(f"traces: {len(traces)}")
+    # Show the busiest traces: those are the multi-hop journeys worth reading.
+    ranked = sorted(
+        traces.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    )[:max_traces]
+    for trace_id, trace_spans in ranked:
+        lines.append(f"\ntrace {trace_id} ({len(trace_spans)} spans)")
+        shown = sorted(trace_spans, key=lambda s: (s.start, s.span_id))[:max_spans]
+        lines.append(render_span_tree(shown))
+    return "\n".join(lines)
+
+
+def summarize_file(path: str) -> str:
+    """Summary of an exported JSONL file: span trees + metric highlights."""
+    from .export import load_jsonl
+
+    spans, metrics = load_jsonl(path)
+    lines = [f"telemetry capture: {path}", render_trace_summary(spans)]
+    counters = [m for m in metrics if m["kind"] == "counter"]
+    if counters:
+        totals: dict[str, float] = {}
+        for record in counters:
+            totals[record["name"]] = totals.get(record["name"], 0) + record["value"]
+        lines.append(f"\ncounters ({len(counters)} instruments)")
+        width = max(len(name) for name in totals)
+        for name, value in sorted(totals.items()):
+            lines.append(f"  {name.ljust(width)}  {value:g}")
+    histograms = [m for m in metrics if m["kind"] == "histogram"]
+    if histograms:
+        lines.append(f"\nhistograms ({len(histograms)})")
+        for record in sorted(histograms, key=_metric_key):
+            stats = ", ".join(
+                f"{key}={record[key]:g}"
+                for key in ("count", "p50", "p90", "max")
+                if key in record
+            )
+            lines.append(f"  {record['name']}{record['labels']}: {stats}")
+    return "\n".join(lines)
+
+
+def _metric_key(record: dict[str, Any]) -> tuple[str, str]:
+    return record["name"], repr(sorted(record["labels"].items()))

@@ -90,6 +90,30 @@ class TestPercentiles:
         assert percentile(samples, 25) <= percentile(samples, 75)
 
 
+class TestStackedPercentilesEdgeCases:
+    def test_single_sample_collapses_all_levels(self):
+        stacked = stacked_percentiles([42.0])
+        assert set(stacked) == {5.0, 25.0, 50.0, 75.0, 90.0}
+        assert all(value == 42.0 for value in stacked.values())
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            stacked_percentiles([])
+
+    def test_custom_levels(self):
+        stacked = stacked_percentiles(list(range(101)), levels=(0.0, 100.0))
+        assert stacked == {0.0: 0, 100.0: 100}
+
+    def test_levels_are_monotone(self):
+        stacked = stacked_percentiles([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0])
+        values = [stacked[level] for level in sorted(stacked)]
+        assert values == sorted(values)
+
+    def test_identical_samples(self):
+        stacked = stacked_percentiles([7.0] * 10)
+        assert set(stacked.values()) == {7.0}
+
+
 class TestCdf:
     def test_cdf_shape(self):
         points = cdf_points([3.0, 1.0, 2.0])
