@@ -12,6 +12,17 @@ it to a :class:`~repro.harness.world.World`: ``join`` ramps spawn nodes
 uniformly over the window, ``const churn P% each Ts`` kills P% of the
 current population every T seconds and (re)spawns ``replacement ratio``
 times as many fresh nodes.
+
+Beyond the paper, the language also scripts *partial* failures (executed by
+:class:`~repro.faults.injector.FaultInjector`), so Table I-style resilience
+scenarios stay one-line declarative::
+
+    from 300s to 600s partition groups a|b   # split, heal at 600s
+    at 400s blackhole 5 -> 9                 # directed link failure
+    at 420s blackhole 9 -> 5 for 60s         # ... with scheduled healing
+    at 500s stall 3% for 120s                # alive but dropping traffic
+    at 600s reset nat 10%                    # NAT reboots forget mappings
+    from 700s to 760s loss 20%               # loss-rate burst
 """
 
 from __future__ import annotations
@@ -22,6 +33,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Union
 
 from ..core.node import WhisperNode
+from ..faults.injector import FaultInjector
+from ..faults.plan import (
+    Blackhole,
+    FaultDirective,
+    LossBurst,
+    NatReset,
+    Partition,
+    Stall,
+    is_fault_directive,
+)
 from ..harness.world import World
 from ..net.address import NodeId
 
@@ -74,9 +95,21 @@ class StopAt:
     at: float
 
 
-Directive = Union[JoinRamp, SetReplacementRatio, ConstChurn, StopAt]
+Directive = Union[
+    JoinRamp, SetReplacementRatio, ConstChurn, StopAt, FaultDirective
+]
 
 _DURATION = r"(\d+(?:\.\d+)?)s"
+_PERCENT = r"(\d+(?:\.\d+)?)%"
+
+
+def _percent_fraction(raw: str, what: str) -> float:
+    value = float(raw) / 100.0
+    if not 0.0 <= value <= 1.0:
+        raise ChurnScriptError(f"{what} percentage out of range: {raw}%")
+    return value
+
+
 _PATTERNS: list[tuple[re.Pattern, Callable[[re.Match], Directive]]] = [
     (
         re.compile(rf"^from {_DURATION} to {_DURATION} join (\d+)$"),
@@ -89,11 +122,49 @@ _PATTERNS: list[tuple[re.Pattern, Callable[[re.Match], Directive]]] = [
     (
         re.compile(
             rf"^from {_DURATION} to {_DURATION} const churn "
-            rf"(\d+(?:\.\d+)?)% each {_DURATION}$"
+            rf"{_PERCENT} each {_DURATION}$"
         ),
-        lambda m: ConstChurn(float(m[1]), float(m[2]), float(m[3]) / 100.0, float(m[4])),
+        lambda m: ConstChurn(
+            float(m[1]), float(m[2]),
+            _percent_fraction(m[3], "const churn"), float(m[4]),
+        ),
     ),
     (re.compile(rf"^at {_DURATION} stop$"), lambda m: StopAt(float(m[1]))),
+    # ---- fault directives (executed by a FaultInjector) ---------------
+    (
+        re.compile(
+            rf"^from {_DURATION} to {_DURATION} partition groups "
+            rf"([a-z0-9_]+(?:\|[a-z0-9_]+)+)$"
+        ),
+        lambda m: Partition(
+            float(m[1]), float(m[2]), group_count=len(m[3].split("|"))
+        ),
+    ),
+    (
+        re.compile(
+            rf"^at {_DURATION} blackhole (\d+) -> (\d+)(?: for {_DURATION})?$"
+        ),
+        lambda m: Blackhole(
+            float(m[1]), int(m[2]), int(m[3]),
+            duration=float(m[4]) if m[4] is not None else None,
+        ),
+    ),
+    (
+        re.compile(rf"^at {_DURATION} stall {_PERCENT} for {_DURATION}$"),
+        lambda m: Stall(
+            float(m[1]), _percent_fraction(m[2], "stall"), float(m[3])
+        ),
+    ),
+    (
+        re.compile(rf"^at {_DURATION} reset nat {_PERCENT}$"),
+        lambda m: NatReset(float(m[1]), _percent_fraction(m[2], "reset nat")),
+    ),
+    (
+        re.compile(rf"^from {_DURATION} to {_DURATION} loss {_PERCENT}$"),
+        lambda m: LossBurst(
+            float(m[1]), float(m[2]), _percent_fraction(m[3], "loss")
+        ),
+    ),
 ]
 
 
@@ -107,7 +178,12 @@ def parse_script(text: str) -> list[Directive]:
         for pattern, build in _PATTERNS:
             match = pattern.match(line)
             if match:
-                directives.append(build(match))
+                try:
+                    directives.append(build(match))
+                except ValueError as exc:  # dataclass validation
+                    raise ChurnScriptError(
+                        f"invalid churn directive {raw_line!r}: {exc}"
+                    ) from exc
                 break
         else:
             raise ChurnScriptError(f"cannot parse churn directive: {raw_line!r}")
@@ -131,6 +207,12 @@ class ChurnDriver:
     named in ``protected`` (e.g. group leaders or introducers) are never
     selected for killing, mirroring how the paper keeps enough entry points
     alive to measure route availability rather than bootstrap failures.
+
+    Fault directives in the script are handed to a
+    :class:`~repro.faults.injector.FaultInjector` — the one passed in, or a
+    fresh one created on demand (exposed as :attr:`injector`).  ``stop``
+    halts churn *and* cancels pending fault activations, healing anything
+    still active.
     """
 
     def __init__(
@@ -141,6 +223,7 @@ class ChurnDriver:
         on_join: Callable[[WhisperNode], None] | None = None,
         on_kill: Callable[[NodeId], None] | None = None,
         protected: set[NodeId] | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.world = world
         self.directives = list(directives)
@@ -151,6 +234,12 @@ class ChurnDriver:
         self.replacement_ratio = 1.0
         self.stopped = False
         self.stats = ChurnStats()
+        self.injector = injector
+        if self.injector is None and any(
+            is_fault_directive(d) for d in self.directives
+        ):
+            self.injector = FaultInjector(world)
+        self._pending_events: list[object] = []
         self._schedule_all()
 
     # ------------------------------------------------------------------
@@ -160,11 +249,16 @@ class ChurnDriver:
         sim = self.world.sim
         base = sim.now
         for directive in self.directives:
-            if isinstance(directive, JoinRamp):
+            if is_fault_directive(directive):
+                assert self.injector is not None
+                self.injector.schedule(directive, base)
+            elif isinstance(directive, JoinRamp):
                 span = max(directive.end - directive.start, 0.0)
                 for i in range(directive.count):
                     offset = directive.start + span * (i / max(directive.count, 1))
-                    sim.schedule_at(base + offset, self._join_one)
+                    self._pending_events.append(
+                        sim.schedule_at(base + offset, self._join_one)
+                    )
             elif isinstance(directive, SetReplacementRatio):
                 sim.schedule_at(
                     base + directive.at,
@@ -173,9 +267,11 @@ class ChurnDriver:
             elif isinstance(directive, ConstChurn):
                 t = directive.start
                 while t < directive.end:
-                    sim.schedule_at(
-                        base + t,
-                        lambda pct=directive.percent: self._churn_event(pct),
+                    self._pending_events.append(
+                        sim.schedule_at(
+                            base + t,
+                            lambda pct=directive.percent: self._churn_event(pct),
+                        )
                     )
                     t += directive.interval
             elif isinstance(directive, StopAt):
@@ -186,6 +282,13 @@ class ChurnDriver:
 
     def _stop(self) -> None:
         self.stopped = True
+        # Cancel queued join/churn events outright (belt and braces on top
+        # of the ``stopped`` guards) and stand down any fault schedule.
+        for event in self._pending_events:
+            event.cancel()  # type: ignore[attr-defined]
+        self._pending_events.clear()
+        if self.injector is not None:
+            self.injector.cancel_pending()
 
     def _join_one(self) -> None:
         if self.stopped:

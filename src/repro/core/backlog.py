@@ -17,16 +17,22 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
 
 from ..crypto.provider import PublicKey
 from ..nat.traversal import ConnectionManager, NodeDescriptor
 from ..net.address import NodeId
 from ..net.message import sizes
 from ..pss.gossip import PeerSamplingService
+from ..sim.process import ExponentialBackoff, Timer
 
 __all__ = ["CbEntry", "ConnectionBacklog"]
+
+# A probe that got no ack within this window is retried (with backoff);
+# after the attempt budget the candidate is abandoned and the invariant
+# machinery picks a different P-node instead of waiting forever.
+_PROBE_ACK_TIMEOUT = 6.0
+_PROBE_MAX_ATTEMPTS = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +49,15 @@ class CbEntry:
     @property
     def is_public(self) -> bool:
         return self.descriptor.is_public
+
+
+@dataclass
+class _ProbeState:
+    """An outstanding "empty message" probe towards a P-node."""
+
+    descriptor: NodeDescriptor
+    attempt: int = 0
+    timer: Timer | None = field(default=None, repr=False)
 
 
 class ConnectionBacklog:
@@ -69,8 +84,14 @@ class ConnectionBacklog:
             )
         # Head = most recent.  OrderedDict keeps FIFO order with O(1) moves.
         self._entries: OrderedDict[NodeId, CbEntry] = OrderedDict()
-        self._probing: set[NodeId] = set()
+        self._probing: dict[NodeId, _ProbeState] = {}
+        self._probe_backoff = ExponentialBackoff(
+            base=_PROBE_ACK_TIMEOUT, factor=2.0, cap=30.0, jitter=0.2, rng=rng
+        )
+        self._stopped = False
         self.stats_probes_sent = 0
+        self.stats_probes_abandoned = 0
+        self.stats_evictions_seen = 0
         pss.add_exchange_listener(self._on_gossip_exchange)
 
     # ------------------------------------------------------------------
@@ -163,9 +184,24 @@ class ConnectionBacklog:
             self._probe(entry.descriptor)
 
     def _probe(self, descriptor: NodeDescriptor) -> None:
-        """The paper's "empty message": open a path and exchange keys."""
+        """The paper's "empty message": open a path and exchange keys.
+
+        Probes (and their acks) ride the same lossy fabric as everything
+        else, so each probe is guarded by a timeout that retries with
+        exponential backoff; after ``_PROBE_MAX_ATTEMPTS`` the candidate is
+        abandoned and the invariant machinery is re-run to pick another.
+        """
         target = descriptor.node_id
-        self._probing.add(target)
+        state = _ProbeState(descriptor=descriptor)
+        state.timer = Timer(self.cm.sim, lambda: self._probe_timeout(target))
+        self._probing[target] = state
+        self._probe_attempt(target)
+
+    def _probe_attempt(self, target: NodeId) -> None:
+        state = self._probing.get(target)
+        if state is None or self._stopped:
+            return
+        state.attempt += 1
         self.stats_probes_sent += 1
 
         def on_ready() -> None:
@@ -176,9 +212,52 @@ class ConnectionBacklog:
             )
 
         def on_fail(reason: str) -> None:
-            self._probing.discard(target)
+            # The session could not be opened: let the timeout path decide
+            # between backing off for a retry and abandoning the candidate.
+            pass
 
-        self.cm.ensure_session(descriptor, on_ready, on_fail)
+        self.cm.ensure_session(state.descriptor, on_ready, on_fail)
+        assert state.timer is not None
+        state.timer.start(self._probe_backoff.delay(state.attempt - 1))
+
+    def _probe_timeout(self, target: NodeId) -> None:
+        state = self._probing.get(target)
+        if state is None:
+            return
+        if state.attempt >= _PROBE_MAX_ATTEMPTS or self._stopped:
+            self._abandon_probe(target)
+            if not self._stopped:
+                self._maintain_public_invariant()
+            return
+        self._probe_attempt(target)
+
+    def _abandon_probe(self, target: NodeId) -> None:
+        state = self._probing.pop(target, None)
+        if state is None:
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        self.stats_probes_abandoned += 1
+
+    # ------------------------------------------------------------------
+    # liveness feedback
+    # ------------------------------------------------------------------
+    def on_session_evicted(self, peer: NodeId) -> None:
+        """CM keepalive declared the session dead: the entry is useless.
+
+        A CB entry's whole value is the open bidirectional channel behind
+        it; once liveness probing gives up on the session, keeping the
+        entry would poison WCL mix selection with a guaranteed-dead hop.
+        """
+        self.stats_evictions_seen += 1
+        if peer in self._entries:
+            self.remove(peer)
+
+    def stop(self) -> None:
+        """Cancel outstanding probe timers (the owning node is stopping)."""
+        self._stopped = True
+        for target in list(self._probing):
+            self._abandon_probe(target)
 
     # ------------------------------------------------------------------
     # probe protocol handlers (wired by the WCL dispatcher)
@@ -193,7 +272,9 @@ class ConnectionBacklog:
 
     def on_probe_ack(self, peer: NodeId, body: dict) -> None:
         """Probe answered: the P-node (with its key) joins the backlog."""
-        if peer not in self._probing:
+        state = self._probing.pop(peer, None)
+        if state is None:
             return
-        self._probing.discard(peer)
+        if state.timer is not None:
+            state.timer.cancel()
         self.insert(body["sender"], body["key"])

@@ -87,6 +87,8 @@ class WhisperNode:
         )
         # Nodes the PSS failure detector gives up on make bad mixes.
         self.pss.add_failure_listener(self.backlog.remove)
+        # ... and so do peers whose sessions the keepalive prober evicted.
+        self.cm.add_evict_listener(self.backlog.on_session_evicted)
         self.wcl = WhisperCommunicationLayer(
             node_id, self.keypair, self.cm, self.backlog, provider, sim, rng,
             telemetry=self.telemetry,
@@ -103,11 +105,14 @@ class WhisperNode:
         """Attach to the network and bootstrap the system-wide PSS."""
         self._network.attach(self.node_id, self._on_fabric)
         self.pss.init(introducers)
+        self.cm.start_keepalive()
         self.alive = True
 
     def stop(self) -> None:
         """Graceful local shutdown (protocol tasks stop, no goodbyes sent)."""
         self.alive = False
+        self.cm.stop_keepalive()
+        self.backlog.stop()
         self.pss.stop()
         for ppss in self.groups.values():
             ppss.leave()

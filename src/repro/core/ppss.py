@@ -33,7 +33,7 @@ from ..crypto.provider import CryptoProvider
 from ..net.address import NodeId
 from ..net.message import sizes
 from ..sim.engine import Simulator
-from ..sim.process import PeriodicTask, Timer
+from ..sim.process import ExponentialBackoff, PeriodicTask, Timer
 from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .backlog import ConnectionBacklog
 from .contact import Gateway, PrivateContact
@@ -80,7 +80,14 @@ class PpssConfig:
     shuffle_size: int = 5  # entries per exchange, including our own
     response_timeout: float = 8.0
     max_attempts: int = 4  # first try + Π = 3 retries
-    join_retry_every: float = 15.0
+    # Retries back off exponentially (with jitter from the node's seeded
+    # RNG) instead of firing back-to-back: during a partition every member
+    # times out together, and un-jittered retries would re-synchronize into
+    # waves that hammer the surviving mixes the moment the network heals.
+    retry_backoff_base: float = 1.0
+    retry_backoff_cap: float = 30.0
+    join_retry_every: float = 15.0  # base of the join backoff
+    join_retry_cap: float = 60.0
     heartbeat_enabled: bool = True
     election_timeout: float = 300.0  # 5 cycles without a heartbeat
     election_settle_cycles: int = 3
@@ -101,6 +108,8 @@ class PpssStats:
     partners_evicted: int = 0
     responses_served: int = 0
     passport_rejections: int = 0
+    xid_mismatches: int = 0  # response xid matched, sender did not
+    last_resort_exchanges: int = 0  # view empty, retried an evicted partner
     join_attempts: int = 0
     app_sent: int = 0
     app_received: int = 0
@@ -162,9 +171,29 @@ class PrivatePeerSamplingService:
         self.stats = PpssStats()
         # private view: node id -> entry, insertion-ordered (deterministic)
         self._view: dict[NodeId, PrivateViewEntry] = {}
+        # Contacts of partners evicted after exhausted retries, freshest
+        # last.  A member whose view empties during an outage (it evicted
+        # everyone, everyone evicted it) would otherwise be isolated
+        # forever — it can no longer initiate exchanges and nobody gossips
+        # towards it.  These stashed contacts are its way back in once the
+        # network heals (see _cycle).
+        self._evicted_cache: dict[NodeId, PrivateContact] = {}
         self._pending: dict[int, _PendingExchange] = {}
         self._task: PeriodicTask | None = None
-        self._join_task: PeriodicTask | None = None
+        self._join_timer: Timer | None = None
+        self._join_attempt_no = 0
+        self._retry_backoff = ExponentialBackoff(
+            base=self.config.retry_backoff_base,
+            cap=self.config.retry_backoff_cap,
+            jitter=0.2,
+            rng=rng,
+        )
+        self._join_backoff = ExponentialBackoff(
+            base=self.config.join_retry_every,
+            cap=self.config.join_retry_cap,
+            jitter=0.2,
+            rng=rng,
+        )
         self._invitation: Invitation | None = None
         self._authorized: set[NodeId] = set()
         self._heartbeat_seq = 0
@@ -223,26 +252,28 @@ class PrivatePeerSamplingService:
             )
         self._invitation = invitation
         self.state = MemberState.JOINING
-        self._join_task = PeriodicTask(
-            self._sim, self.config.join_retry_every, self._send_join,
-            initial_delay=self._rng.uniform(0.5, 3.0),
-        )
+        self._join_attempt_no = 0
+        self._join_timer = Timer(self._sim, self._send_join)
+        self._join_timer.start(self._rng.uniform(0.5, 3.0))
 
     def leave(self) -> None:
         """Stop all activity (the node departs or abandons the group)."""
         self.state = MemberState.LEFT
-        for task in (self._task, self._join_task, self._pcp_task):
+        for task in (self._task, self._pcp_task):
             if task is not None:
                 task.stop()
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+            self._join_timer = None
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
         self._pending.clear()
 
     def _become_member(self) -> None:
-        if self._join_task is not None:
-            self._join_task.stop()
-            self._join_task = None
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+            self._join_timer = None
         self.state = MemberState.MEMBER
         self.election.note_alive(self._sim.now)
         phase = self._rng.uniform(0, self.config.cycle_time)
@@ -370,8 +401,28 @@ class PrivatePeerSamplingService:
             self.election.on_cycle(self._sim.now, epoch=len(self.keyring.history))
         partner = self._oldest_entry()
         if partner is None:
+            # View empty: every partner was evicted (e.g. we stalled, or a
+            # partition cut us off).  Retry evicted partners round-robin —
+            # one success re-seeds the view through the response merge.
+            contact = self._last_resort_partner()
+            if contact is None:
+                return
+            self.stats.last_resort_exchanges += 1
+            self.telemetry.counter(
+                "ppss.last_resort_exchange", node=self.node_id, layer="ppss"
+            ).inc()
+            self._start_exchange(contact)
             return
         self._start_exchange(partner.contact)
+
+    def _last_resort_partner(self) -> PrivateContact | None:
+        if not self._evicted_cache:
+            return None
+        nid, contact = next(iter(self._evicted_cache.items()))
+        # Rotate to the back so successive cycles try different candidates.
+        del self._evicted_cache[nid]
+        self._evicted_cache[nid] = contact
+        return contact
 
     def _age_view(self) -> None:
         self._view = {nid: entry.aged() for nid, entry in self._view.items()}
@@ -419,6 +470,14 @@ class PrivatePeerSamplingService:
         if pending.attempts >= self.config.max_attempts:
             self._finish_exchange(pending, success=False, outcome="alt_failed")
             return
+        # Back off before retrying over an alternative path (see PpssConfig).
+        delay = self._retry_backoff.delay(pending.attempts - 1)
+        self._sim.schedule(delay, lambda: self._retry_exchange(xid))
+
+    def _retry_exchange(self, xid: int) -> None:
+        pending = self._pending.get(xid)
+        if pending is None:
+            return  # answered (or the instance left) while backing off
         self._attempt_exchange(pending)
 
     def _finish_exchange(
@@ -427,8 +486,10 @@ class PrivatePeerSamplingService:
         self._pending.pop(pending.xid, None)
         if pending.timer is not None:
             pending.timer.cancel()
+        partner_id = pending.partner.node_id
         if success:
             self.stats.exchanges_completed += 1
+            self._evicted_cache.pop(partner_id, None)
             if pending.attempts == 1:
                 self.stats.first_attempt_success += 1
                 outcome = "success"
@@ -443,8 +504,15 @@ class PrivatePeerSamplingService:
             # The paper: failing after Π retries is treated as a failure of
             # the destination, which is evicted from the private view.
             self.stats.partners_evicted += 1
-            self._view.pop(pending.partner.node_id, None)
-            self._pcp.pop(pending.partner.node_id, None)
+            self._view.pop(partner_id, None)
+            self._pcp.pop(partner_id, None)
+            # Remember it (freshest last, bounded) in case the whole view
+            # empties: last-resort re-entry partners after an outage.
+            self._evicted_cache.pop(partner_id, None)
+            self._evicted_cache[partner_id] = pending.partner
+            while len(self._evicted_cache) > self.config.view_size:
+                oldest = next(iter(self._evicted_cache))
+                del self._evicted_cache[oldest]
         tel = self.telemetry
         if tel.enabled:
             if pending.span is not None:
@@ -576,8 +644,20 @@ class PrivatePeerSamplingService:
         pending = self._pending.get(body["xid"])
         sender: PrivateContact = body["sender"]
         self._merge(body["buffer"], sender)
-        if pending is not None:
-            self._finish_exchange(pending, success=True, outcome="success")
+        if pending is None:
+            return
+        if sender.node_id != pending.partner.node_id:
+            # The xid matches an outstanding exchange but the responder is
+            # not the partner we asked — a delayed duplicate from a reused
+            # xid, or a member replaying someone else's response.  The
+            # buffer (passport-verified) was merged above; the exchange
+            # itself stays open until the real partner answers.
+            self.stats.xid_mismatches += 1
+            self.telemetry.counter(
+                "ppss.xid_mismatch", node=self.node_id, layer="ppss"
+            ).inc()
+            return
+        self._finish_exchange(pending, success=True, outcome="success")
 
     def _merge(self, buffer: list[PrivateViewEntry], sender: PrivateContact) -> None:
         candidates: dict[NodeId, PrivateViewEntry] = dict(self._view)
@@ -606,6 +686,13 @@ class PrivatePeerSamplingService:
     def _send_join(self) -> None:
         if self.state is not MemberState.JOINING or self._invitation is None:
             return
+        # Re-arm first: the next retry (with backoff) happens unless the
+        # welcome arrives and _become_member cancels the timer.
+        self._join_attempt_no += 1
+        if self._join_timer is not None:
+            self._join_timer.start(
+                self._join_backoff.delay(self._join_attempt_no - 1)
+            )
         self.stats.join_attempts += 1
         body = {
             "type": "group.join",

@@ -27,7 +27,7 @@ from ..net.address import Endpoint, NodeId, NodeKind
 from ..nat.types import NatType
 from ..sim.engine import Simulator
 from ..telemetry import NULL_TELEMETRY, Telemetry
-from .backlog import ConnectionBacklog
+from .backlog import CbEntry, ConnectionBacklog
 from .contact import Gateway, PrivateContact
 from .onion import HopSpec, OnionPacket, build_onion, peel
 
@@ -54,6 +54,7 @@ class WclStats:
     forwarded: int = 0  # onions relayed as a mix
     delivered: int = 0  # onions terminating here
     no_path: int = 0  # send_to found no usable (A, B) pair
+    degraded_paths: int = 0  # pair drawn from the widened (PSS-view) pool
     misrouted: int = 0  # header did not open with our key
     forward_failures: int = 0  # next-hop session was gone
 
@@ -223,16 +224,75 @@ class WhisperCommunicationLayer:
         )
         self._rng.shuffle(second_candidates)
         self._rng.shuffle(firsts)
+        pair = self._pick_pair(firsts, second_candidates, exclude)
+        if pair is not None:
+            return pair
+        # Graceful degradation: when the CB itself is starved — its P-node
+        # quorum below Π, e.g. after a partition or a churn burst evicted
+        # most entries — widen the pool with PSS-view peers that are just
+        # as usable (key known from a gossip exchange, session still open)
+        # rather than failing the send outright.  A healthy CB that merely
+        # ran out of untried pairs still returns "no_path": there the
+        # exclusions, not the backlog, are the binding constraint.
+        if self.backlog.count_public() >= self.backlog.pi:
+            return None
+        widened = self._degraded_pool({self.node_id, contact.node_id})
+        if not widened:
+            return None
+        self._rng.shuffle(widened)
+        firsts = firsts + widened
+        if contact.is_public:
+            for entry in widened:
+                if entry.is_public and all(
+                    g.node_id != entry.node_id for g in second_candidates
+                ):
+                    second_candidates.append(
+                        Gateway(descriptor=entry.descriptor, key=entry.key)
+                    )
+        pair = self._pick_pair(firsts, second_candidates, exclude)
+        if pair is not None:
+            self.stats.degraded_paths += 1
+            self.telemetry.counter(
+                "wcl.degraded_path", node=self.node_id, layer="wcl"
+            ).inc()
+        return pair
+
+    @staticmethod
+    def _pick_pair(
+        firsts: list,
+        seconds: list,
+        exclude: set[tuple[NodeId, NodeId]],
+    ) -> tuple[object, object] | None:
         # Vary the second mix fastest: a stale gateway is the most common
         # failure, so alternatives try a different B before a different A.
         for first in firsts:
-            for second in second_candidates:
+            for second in seconds:
                 if first.node_id == second.node_id:
                     continue
                 if (first.node_id, second.node_id) in exclude:
                     continue
                 return first, second
         return None
+
+    def _degraded_pool(self, forbidden: set[NodeId]) -> list[CbEntry]:
+        """PSS-view peers usable as emergency mix candidates.
+
+        A view entry qualifies when we learned its public key through a
+        gossip exchange *and* still hold an open session towards it — at
+        that point it offers exactly what a CB entry offers (a keyed,
+        reachable hop), only staler.
+        """
+        pss = self.backlog.pss
+        pool: list[CbEntry] = []
+        for entry in pss.view.entries():
+            nid = entry.node_id
+            if nid in forbidden or nid in self.backlog:
+                continue
+            key = pss.known_keys.get(nid)
+            if key is None or not self.cm.has_session(nid):
+                continue
+            pool.append(CbEntry(descriptor=entry.descriptor, key=key))
+        return pool
 
     # ------------------------------------------------------------------
     # receiving / forwarding

@@ -22,6 +22,7 @@ from . import (
     fig7_rtt,
     fig8_group_bandwidth,
     fig9_tchord,
+    resilience,
     table1_churn,
     table2_cpu,
 )
@@ -30,6 +31,8 @@ EXPERIMENTS = {
     "fig5": ("Fig. 5 — biased PSS quality", fig5_biased_pss.run),
     "fig6": ("Fig. 6 — key sampling bandwidth", fig6_key_sampling.run),
     "table1": ("Table I — routes under churn", table1_churn.run),
+    "resilience": ("Resilience — recovery from injected faults",
+                   resilience.run),
     "fig7": ("Fig. 7 — RTT breakdown", fig7_rtt.run),
     "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
     "fig8": ("Fig. 8 — bandwidth vs groups", fig8_group_bandwidth.run),

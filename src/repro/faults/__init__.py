@@ -1,0 +1,37 @@
+"""Fault injection: deterministic partial failures for robustness testing.
+
+See :mod:`.plan` for the fault taxonomy and :mod:`.injector` for execution.
+Fault directives are also scriptable through the churn script language
+(:mod:`repro.churn.script`)::
+
+    from 300s to 600s partition groups a|b
+    at 400s blackhole 5 -> 9
+    at 500s stall 3% for 120s
+    at 600s reset nat 10%
+    from 700s to 760s loss 20%
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import (
+    Blackhole,
+    FaultDirective,
+    FaultPlan,
+    LossBurst,
+    NatReset,
+    Partition,
+    Stall,
+    is_fault_directive,
+)
+
+__all__ = [
+    "Blackhole",
+    "FaultDirective",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LossBurst",
+    "NatReset",
+    "Partition",
+    "Stall",
+    "is_fault_directive",
+]

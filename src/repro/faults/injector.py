@@ -1,0 +1,308 @@
+"""Deterministic fault injection on the network fabric.
+
+The :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against a running :class:`~repro.harness.world.World`.  It installs itself
+as the network's fault hook: every send and every delivery asks the
+injector whether an active fault swallows the message.  Four fault families
+are supported (see :mod:`repro.faults.plan`):
+
+- **blackholes** — directed (src, dst) pairs whose traffic vanishes;
+- **loss bursts** — extra uniform loss windows, stacking multiplicatively;
+- **partitions** — seeded group splits with scheduled healing;
+- **stalls** — nodes that silently drop all traffic, both directions;
+- **NAT resets** — devices that forget their association rules, killing
+  established inbound sessions.
+
+Determinism: victim selection uses the world registry's ``faults`` stream
+and iterates populations in sorted-id order, and the loss draw consumes the
+same stream in simulator event order — so two same-seed runs inject exactly
+the same faults and export byte-identical telemetry traces.
+
+Every injected fault and every swallowed message is counted through the
+telemetry layer under ``fault.*`` so resilience experiments can correlate
+protocol-level recovery with the raw fault timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..net.address import NodeId
+from .plan import (
+    Blackhole,
+    FaultDirective,
+    FaultPlan,
+    LossBurst,
+    NatReset,
+    Partition,
+    Stall,
+)
+
+if TYPE_CHECKING:  # the harness imports nothing from faults; cycle-safe
+    from ..harness.world import World
+
+__all__ = ["FaultInjector", "FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """What the injector did and what it swallowed."""
+
+    blackhole_drops: int = 0
+    partition_drops: int = 0
+    stall_drops: int = 0
+    loss_drops: int = 0
+    faults_activated: int = 0
+    faults_healed: int = 0
+    nodes_stalled: int = 0
+    nat_resets: int = 0
+    sessions_invalidated: int = 0  # NAT mappings wiped by resets
+    active_rates: list[float] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Applies a fault plan to a world's network fabric."""
+
+    def __init__(
+        self,
+        world: "World",
+        plan: FaultPlan | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.world = world
+        self._sim = world.sim
+        self._rng = rng if rng is not None else world.registry.stream("faults")
+        self.telemetry = world.telemetry
+        self.stats = FaultStats()
+        # Active fault state.
+        self._blackholes: set[tuple[NodeId, NodeId]] = set()
+        self._stalled: set[NodeId] = set()
+        self._loss_rates: list[float] = []
+        # node -> partition group index; None when no partition is active.
+        self._partition: dict[NodeId, int] | None = None
+        self._partition_groups = 0
+        self._events: list[object] = []  # pending sim events (cancellable)
+        world.network.set_fault_hook(self)
+        if plan is not None:
+            self.arm(plan)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def arm(self, plan: FaultPlan | list[FaultDirective]) -> None:
+        """Schedule every directive relative to the current sim time."""
+        for directive in plan:
+            self.schedule(directive)
+
+    def schedule(self, directive: FaultDirective, base: float | None = None) -> None:
+        """Schedule one directive; times are relative to ``base`` (now)."""
+        sim = self._sim
+        base = sim.now if base is None else base
+        if isinstance(directive, Blackhole):
+            self._at(base + directive.at, lambda d=directive: self._open_blackhole(d))
+        elif isinstance(directive, LossBurst):
+            self._at(base + directive.start, lambda d=directive: self._start_loss(d))
+        elif isinstance(directive, Partition):
+            self._at(base + directive.start, lambda d=directive: self._split(d))
+        elif isinstance(directive, Stall):
+            self._at(base + directive.at, lambda d=directive: self._stall(d))
+        elif isinstance(directive, NatReset):
+            self._at(base + directive.at, lambda d=directive: self._reset_nat(d))
+        else:
+            raise TypeError(f"not a fault directive: {directive!r}")
+
+    def _at(self, time: float, callback) -> None:
+        self._events.append(self._sim.schedule_at(time, callback))
+
+    def cancel_pending(self) -> None:
+        """Cancel not-yet-fired directives and heal everything active."""
+        for event in self._events:
+            event.cancel()  # type: ignore[attr-defined]
+        self._events.clear()
+        self.heal_all()
+
+    def heal_all(self) -> None:
+        """Immediately clear all active fault state (partitions, stalls...)."""
+        self._blackholes.clear()
+        self._stalled.clear()
+        self._loss_rates.clear()
+        self._partition = None
+
+    # ------------------------------------------------------------------
+    # the network hook (called on every send / delivery)
+    # ------------------------------------------------------------------
+    def on_send(self, src: NodeId, dst_hint: NodeId) -> str | None:
+        """Reason the egress message is swallowed, or None to let it pass."""
+        reason = self._deterministic_drop(src, dst_hint)
+        if reason is not None:
+            return reason
+        if self._loss_rates and self._rng.random() < self._effective_loss():
+            self.stats.loss_drops += 1
+            self._count_drop("loss")
+            return "loss"
+        return None
+
+    def on_deliver(self, src: NodeId, owner: NodeId) -> str | None:
+        """Ingress check: faults that arose while the message was in flight
+        (a partition forming, a node stalling) still swallow it — a link that
+        is down when the packet arrives loses the packet."""
+        return self._deterministic_drop(src, owner)
+
+    def _deterministic_drop(self, src: NodeId, dst: NodeId) -> str | None:
+        if (src, dst) in self._blackholes:
+            self.stats.blackhole_drops += 1
+            self._count_drop("blackhole")
+            return "blackhole"
+        if src in self._stalled or dst in self._stalled:
+            self.stats.stall_drops += 1
+            self._count_drop("stall")
+            return "stall"
+        partition = self._partition
+        if partition is not None:
+            if self._group_of(src) != self._group_of(dst):
+                self.stats.partition_drops += 1
+                self._count_drop("partition")
+                return "partition"
+        return None
+
+    def _effective_loss(self) -> float:
+        keep = 1.0
+        for rate in self._loss_rates:
+            keep *= 1.0 - rate
+        return 1.0 - keep
+
+    def _group_of(self, node: NodeId) -> int:
+        assert self._partition is not None
+        group = self._partition.get(node)
+        if group is None:
+            # Nodes that joined after the split land in a deterministic
+            # group: a partition does not exempt newcomers.
+            group = node % self._partition_groups
+            self._partition[node] = group
+        return group
+
+    # ------------------------------------------------------------------
+    # activations
+    # ------------------------------------------------------------------
+    def _open_blackhole(self, directive: Blackhole) -> None:
+        self._blackholes.add((directive.src, directive.dst))
+        self._record_activation("blackhole")
+        if directive.duration is not None:
+            self._at(
+                self._sim.now + directive.duration,
+                lambda: self._close_blackhole(directive),
+            )
+
+    def _close_blackhole(self, directive: Blackhole) -> None:
+        self._blackholes.discard((directive.src, directive.dst))
+        self._record_heal("blackhole")
+
+    def _start_loss(self, directive: LossBurst) -> None:
+        self._loss_rates.append(directive.rate)
+        self._record_activation("loss")
+        self._at(
+            self._sim.now + (directive.end - directive.start),
+            lambda: self._stop_loss(directive),
+        )
+
+    def _stop_loss(self, directive: LossBurst) -> None:
+        try:
+            self._loss_rates.remove(directive.rate)
+        except ValueError:
+            pass
+        self._record_heal("loss")
+
+    def _split(self, directive: Partition) -> None:
+        ids = sorted(n.node_id for n in self.world.alive_nodes())
+        self._rng.shuffle(ids)
+        groups = directive.group_count
+        self._partition = {nid: i % groups for i, nid in enumerate(ids)}
+        self._partition_groups = groups
+        self._record_activation("partition")
+        self._at(
+            self._sim.now + (directive.end - directive.start), self._heal_partition
+        )
+
+    def _heal_partition(self) -> None:
+        self._partition = None
+        self._record_heal("partition")
+
+    def _stall(self, directive: Stall) -> None:
+        ids = sorted(
+            n.node_id
+            for n in self.world.alive_nodes()
+            if n.node_id not in self._stalled
+        )
+        count = min(len(ids), max(1, round(len(ids) * directive.fraction)))
+        victims = self._rng.sample(ids, count) if count else []
+        self._stalled.update(victims)
+        self.stats.nodes_stalled += len(victims)
+        self._record_activation("stall")
+        if self.telemetry.enabled:
+            self.telemetry.counter("fault.stalled_nodes", layer="fault").inc(
+                len(victims)
+            )
+        self._at(
+            self._sim.now + directive.duration,
+            lambda: self._unstall(victims),
+        )
+
+    def _unstall(self, victims: list[NodeId]) -> None:
+        self._stalled.difference_update(victims)
+        self._record_heal("stall")
+
+    def _reset_nat(self, directive: NatReset) -> None:
+        topology = self.world.topology
+        natted = sorted(
+            n.node_id
+            for n in self.world.alive_nodes()
+            if topology.knows(n.node_id)
+            and topology.assignment(n.node_id).device is not None
+        )
+        count = min(len(natted), max(1, round(len(natted) * directive.fraction)))
+        victims = self._rng.sample(natted, count) if count else []
+        wiped = 0
+        for nid in victims:
+            device = topology.assignment(nid).device
+            assert device is not None
+            wiped += device.reset_mappings()
+        self.stats.nat_resets += len(victims)
+        self.stats.sessions_invalidated += wiped
+        self._record_activation("nat_reset")
+        if self.telemetry.enabled:
+            self.telemetry.counter("fault.nat_resets", layer="fault").inc(
+                len(victims)
+            )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stalled_nodes(self) -> set[NodeId]:
+        return set(self._stalled)
+
+    def partition_active(self) -> bool:
+        return self._partition is not None
+
+    def _count_drop(self, reason: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "fault.drops", layer="fault", reason=reason
+            ).inc()
+
+    def _record_activation(self, kind: str) -> None:
+        self.stats.faults_activated += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "fault.injected", layer="fault", kind=kind
+            ).inc()
+            self.telemetry.instant(f"fault.{kind}.on", layer="fault")
+
+    def _record_heal(self, kind: str) -> None:
+        self.stats.faults_healed += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "fault.healed", layer="fault", kind=kind
+            ).inc()
+            self.telemetry.instant(f"fault.{kind}.off", layer="fault")

@@ -15,23 +15,45 @@ Checked invariants:
 - Private views: only ever contain members of the same group (verified via
   passports having been required), never the node itself, within capacity.
 - Group keyrings: members of the same group share a key-history prefix.
+
+Recovery assertions (``check_private_view_recovery``,
+``check_exchange_recovery``) close the fault-injection loop: after a
+scripted partition/stall heals, they verify the stack actually *recovered*
+— private views re-converged onto live members and end-to-end exchange
+success returned to its pre-fault level — rather than merely not crashing.
 """
 
 from __future__ import annotations
 
+from ..core.ppss import MemberState
 from ..net.address import NodeKind
 from .world import World
 
-__all__ = ["InvariantViolation", "check_invariants"]
+__all__ = [
+    "InvariantViolation",
+    "RecoveryViolation",
+    "check_invariants",
+    "check_private_view_recovery",
+    "check_exchange_recovery",
+]
 
 
 class InvariantViolation(AssertionError):
     """A structural protocol invariant was broken."""
 
 
+class RecoveryViolation(AssertionError):
+    """The stack failed to recover after an injected fault healed."""
+
+
 def _ensure(condition: bool, message: str) -> None:
     if not condition:
         raise InvariantViolation(message)
+
+
+def _ensure_recovered(condition: bool, message: str) -> None:
+    if not condition:
+        raise RecoveryViolation(message)
 
 
 def check_invariants(world: World) -> int:
@@ -88,3 +110,78 @@ def check_invariants(world: World) -> int:
                         f"{gprefix} key history diverges at depth {depth}",
                     )
     return checked
+
+
+def check_private_view_recovery(
+    world: World,
+    group: str,
+    min_populated: float = 0.9,
+    min_live_edges: float = 0.5,
+) -> int:
+    """Verify a group's private views re-converged after a healed fault.
+
+    Two properties must hold once the gossip has had a few cycles to run
+    post-heal:
+
+    - at least ``min_populated`` of the group's live members hold a private
+      view with at least one *live* member in it (a member with an empty or
+      all-dead view cannot initiate exchanges — it would be isolated even
+      though the network works again);
+    - across all views, at least ``min_live_edges`` of the entries point at
+      live members (views still dominated by departed/partitioned-away
+      members mean the eviction-and-remerge loop is not making progress).
+
+    Returns the number of members examined.  Raises
+    :class:`RecoveryViolation` otherwise.
+    """
+    members = [
+        node
+        for node in world.alive_nodes()
+        if group in node.groups
+        and node.groups[group].state is MemberState.MEMBER
+    ]
+    if not members:
+        raise RecoveryViolation(f"group {group!r} has no live members left")
+    alive_ids = {node.node_id for node in members}
+    populated = 0
+    live_edges = 0
+    total_edges = 0
+    for node in members:
+        contacts = node.groups[group].view_contacts()
+        live = sum(1 for c in contacts if c.node_id in alive_ids)
+        total_edges += len(contacts)
+        live_edges += live
+        if live > 0:
+            populated += 1
+    _ensure_recovered(
+        populated >= min_populated * len(members),
+        f"group {group!r}: only {populated}/{len(members)} members hold a "
+        f"live private-view entry (need {min_populated:.0%})",
+    )
+    if total_edges:
+        _ensure_recovered(
+            live_edges >= min_live_edges * total_edges,
+            f"group {group!r}: only {live_edges}/{total_edges} private-view "
+            f"entries point at live members (need {min_live_edges:.0%})",
+        )
+    return len(members)
+
+
+def check_exchange_recovery(
+    baseline_rate: float,
+    recovered_rate: float,
+    tolerance: float = 0.05,
+) -> None:
+    """Verify end-to-end exchange success returned to its pre-fault level.
+
+    ``baseline_rate`` is the success fraction measured before the fault,
+    ``recovered_rate`` the fraction in a window after healing; recovery
+    means the latter is within ``tolerance`` (5 points by default) of the
+    former.  Raises :class:`RecoveryViolation` otherwise.
+    """
+    _ensure_recovered(
+        recovered_rate >= baseline_rate - tolerance,
+        f"exchange success did not recover: {recovered_rate:.1%} after "
+        f"healing vs {baseline_rate:.1%} baseline "
+        f"(tolerance {tolerance:.0%})",
+    )

@@ -158,6 +158,21 @@ class NatDevice:
         return source == mapping.bound_remote
 
     # ------------------------------------------------------------------
+    def reset_mappings(self) -> int:
+        """Forget every association rule (the device rebooted).
+
+        Established flows through this NAT die silently: inbound packets to
+        the old external ports are filtered until fresh outbound traffic
+        re-opens mappings — on *new* ports, so remotes holding the old
+        endpoint keep missing.  Returns the number of rules wiped.
+        """
+        wiped = len(self._by_port)
+        self._cone.clear()
+        self._sym.clear()
+        self._by_port.clear()
+        return wiped
+
+    # ------------------------------------------------------------------
     def active_mappings(self, now: float) -> list[Mapping]:
         """Live (non-expired) mappings — used by tests and diagnostics."""
         return [m for m in self._by_port.values() if not self._expired(m, now)]

@@ -41,6 +41,7 @@ from ..net.address import Endpoint, NodeId, NodeKind, Protocol
 from ..net.message import Message, sizes
 from ..net.network import Network
 from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask
 from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .types import NatType, hole_punching_possible
 
@@ -97,7 +98,9 @@ class Session:
     # rendezvous that holds a session with the peer.  None = direct.
     relay_chain: tuple[NodeId, ...] | None
     established_at: float
-    last_used: float
+    last_used: float  # last time *we* pushed traffic through it
+    last_seen: float = 0.0  # last inbound evidence the peer is alive
+    missed_probes: int = 0  # unanswered keepalives since last evidence
 
     @property
     def is_relayed(self) -> bool:
@@ -123,6 +126,14 @@ class TraversalPolicy:
     force_relay_for_symmetric: bool = True
     session_lifetime: float = 86_400.0  # the TCP association lease
     protocol: Protocol = Protocol.TCP
+    # Liveness probing: sessions idle past ``keepalive_interval`` are pinged;
+    # after ``keepalive_misses`` unanswered probes the session is evicted
+    # (and listeners — e.g. the connection backlog — are told, so stale
+    # first-mix candidates stop poisoning WCL path selection).  Set the
+    # interval to 0 to disable.  Probing starts when the owning node calls
+    # :meth:`ConnectionManager.start_keepalive` (WhisperNode does on start).
+    keepalive_interval: float = 60.0
+    keepalive_misses: int = 3
 
     def can_punch(self, a: NatType, b: NatType) -> bool:
         if self.force_relay_for_symmetric and (a.is_symmetric or b.is_symmetric):
@@ -175,13 +186,20 @@ class ConnectionManager:
         # Upcall for application payloads arriving over sessions:
         # (peer_id, kind, payload, size).
         self._deliver_upcall = deliver_upcall
+        self._evict_listeners: list[Callable[[NodeId], None]] = []
+        self._keepalive_task: PeriodicTask | None = None
         self.stats_relayed = 0  # payloads this node forwarded for others
         self.stats_punches = 0
         self.stats_relay_sessions = 0
+        self.stats_sessions_evicted = 0  # declared dead by liveness probing
 
     # ------------------------------------------------------------------
     # identity helpers
     # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
     @property
     def kind(self) -> NodeKind:
         return NodeKind.NATTED if self.nat_type.is_natted else NodeKind.PUBLIC
@@ -243,6 +261,62 @@ class ConnectionManager:
 
     def drop_session(self, peer: NodeId) -> None:
         self._sessions.pop(peer, None)
+
+    # ------------------------------------------------------------------
+    # liveness probing (keepalive)
+    # ------------------------------------------------------------------
+    def add_evict_listener(self, listener: Callable[[NodeId], None]) -> None:
+        """Run ``listener(peer)`` whenever liveness probing evicts a session."""
+        self._evict_listeners.append(listener)
+
+    def start_keepalive(self) -> None:
+        """Begin periodic liveness probing of idle sessions."""
+        interval = self.policy.keepalive_interval
+        if interval <= 0 or self._keepalive_task is not None:
+            return
+        self._keepalive_task = PeriodicTask(
+            self._sim, interval, self._keepalive_tick
+        )
+
+    def stop_keepalive(self) -> None:
+        if self._keepalive_task is not None:
+            self._keepalive_task.stop()
+            self._keepalive_task = None
+
+    def _keepalive_tick(self) -> None:
+        interval = self.policy.keepalive_interval
+        now = self._sim.now
+        for session in list(self._sessions.values()):
+            if not self.has_session(session.peer):
+                continue  # lease-expired; has_session already dropped it
+            freshest = max(session.last_seen, session.established_at)
+            if now - freshest < interval:
+                continue  # recent inbound evidence: clearly alive
+            if session.missed_probes >= self.policy.keepalive_misses:
+                self._evict_session(session.peer)
+                continue
+            session.missed_probes += 1
+            self.send_via_session(
+                session.peer, "nat.sping", {"from": self.node_id},
+                sizes.connect_control, "nat",
+            )
+
+    def _evict_session(self, peer: NodeId) -> None:
+        """The peer stopped answering: declare the session dead."""
+        self._sessions.pop(peer, None)
+        self.stats_sessions_evicted += 1
+        self.telemetry.counter(
+            "cm.session_evicted", node=self.node_id, layer="nat"
+        ).inc()
+        for listener in self._evict_listeners:
+            listener(peer)
+
+    def _note_alive(self, peer: NodeId) -> None:
+        """Inbound evidence the peer is alive: reset the liveness clock."""
+        session = self._sessions.get(peer)
+        if session is not None:
+            session.last_seen = self._sim.now
+            session.missed_probes = 0
 
     # ------------------------------------------------------------------
     # establishment
@@ -429,6 +503,7 @@ class ConnectionManager:
         if session is None or not session.is_relayed:
             session = self._install_session(peer, message.src, relay=None)
         session.last_used = self._sim.now
+        self._note_alive(peer)
         kind = body["kind"]
         if kind.startswith("nat."):
             self._dispatch_internal(kind, body["payload"])
@@ -447,6 +522,15 @@ class ConnectionManager:
             self._on_punch_offer(payload)
         elif kind == "nat.punch_accept":
             self._on_punch_accept(payload)
+        elif kind == "nat.sping":
+            # Liveness probe: answer so the prober's clock resets.  Works
+            # over relayed sessions too, since both travel as session data.
+            self.send_via_session(
+                payload["from"], "nat.spong", {"from": self.node_id},
+                sizes.connect_control, "nat",
+            )
+        elif kind == "nat.spong":
+            self._note_alive(payload["from"])
 
     def _on_relay(self, envelope: dict) -> None:
         target = envelope["target"]
@@ -458,6 +542,7 @@ class ConnectionManager:
             reverse = self._sessions.get(origin)
             if reverse is not None:
                 reverse.last_used = self._sim.now
+            self._note_alive(origin)
             inner_kind = envelope["kind"]
             if inner_kind.startswith("nat."):
                 self._dispatch_internal(inner_kind, envelope["payload"])
@@ -624,6 +709,7 @@ class ConnectionManager:
         """A punch packet: adopt/refresh the direct session to the sender."""
         peer = message.payload["from"]
         self._install_session(peer, message.src, relay=None)
+        self._note_alive(peer)
 
     def _on_ping(self, message: Message) -> None:
         peer = message.payload["from"]
@@ -647,6 +733,7 @@ class ConnectionManager:
         session = self._sessions.get(peer)
         if session is not None:
             session.last_used = self._sim.now
+        self._note_alive(peer)
 
     # ------------------------------------------------------------------
     def learn_reflexive_via(self, descriptor: NodeDescriptor) -> None:

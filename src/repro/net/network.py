@@ -14,7 +14,8 @@ ingress filter, since a wiretap sees those too.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+import zlib
+from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
 from ..sim.engine import Simulator
 from ..telemetry import NULL_TELEMETRY
@@ -28,9 +29,25 @@ from .latency import LatencyModel
 from .message import Message
 from .observer import LinkObserver, ObservedPacket
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "FaultHook"]
 
 Handler = Callable[[Message], None]
+
+
+class FaultHook(TypingProtocol):
+    """Interface a fault injector exposes to the fabric.
+
+    Both methods return the reason the message is swallowed (a short label
+    used in drop accounting) or ``None`` to let it pass.  The fabric counts
+    swallowed messages as losses — from the protocols' perspective an
+    injected fault is indistinguishable from network loss, which is the
+    point: recovery must come from the protocol layers, not from the test
+    harness knowing better.
+    """
+
+    def on_send(self, src: NodeId, dst_hint: NodeId) -> str | None: ...
+
+    def on_deliver(self, src: NodeId, owner: NodeId) -> str | None: ...
 
 
 class NetworkStats:
@@ -64,6 +81,7 @@ class Network:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._handlers: dict[NodeId, Handler] = {}
         self._observers: list[LinkObserver] = []
+        self._fault_hook: FaultHook | None = None
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -88,6 +106,10 @@ class Network:
 
     def add_observer(self, observer: LinkObserver) -> None:
         self._observers.append(observer)
+
+    def set_fault_hook(self, hook: FaultHook | None) -> None:
+        """Install (or clear) the fault injector consulted on every message."""
+        self._fault_hook = hook
 
     # ------------------------------------------------------------------
     # data path
@@ -120,12 +142,22 @@ class Network:
             tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
             tel.counter("net.up_bytes", node=src_node, layer="net").inc(size_bytes)
             tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
-        if self._latency.is_lost(src_node, self._owner_hint(dst)):
+        hint = self._owner_hint(dst)
+        if self._fault_hook is not None:
+            reason = self._fault_hook.on_send(src_node, hint)
+            if reason is not None:
+                self.stats.lost += 1
+                tel.counter("net.lost", layer="net").inc()
+                self._observe(
+                    src_node, None, visible_src, dst, kind, payload, size_bytes
+                )
+                return
+        if self._latency.is_lost(src_node, hint):
             self.stats.lost += 1
             tel.counter("net.lost", layer="net").inc()
             self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
             return
-        delay = self._latency.delay(src_node, self._owner_hint(dst), size_bytes)
+        delay = self._latency.delay(src_node, hint, size_bytes)
         message = Message(
             src=visible_src,
             dst=dst,
@@ -152,6 +184,18 @@ class Network:
                 message.payload, message.size_bytes,
             )
             return
+        if self._fault_hook is not None:
+            # Faults that arose while the message was in flight (a partition
+            # forming, a node stalling) still swallow it on arrival.
+            reason = self._fault_hook.on_deliver(src_node, owner)
+            if reason is not None:
+                self.stats.lost += 1
+                tel.counter("net.lost", layer="net").inc()
+                self._observe(
+                    src_node, None, message.src, message.dst, message.kind,
+                    message.payload, message.size_bytes,
+                )
+                return
         handler = self._handlers.get(owner)
         self._observe(
             src_node, owner, message.src, message.dst, message.kind,
@@ -182,7 +226,11 @@ class Network:
 
         Latency models key node pairs by id; when the destination endpoint
         cannot be attributed (departed node) any stable key works, so we hash
-        the host name.
+        the host name.  The hash must be stable *across processes*: Python's
+        ``hash(str)`` is salted per interpreter (PYTHONHASHSEED), which would
+        make same-seed runs sample different latencies for departed-node
+        endpoints and break the telemetry exporter's byte-identical-trace
+        guarantee — so we use crc32.
         """
         host = dst.host
         if host.startswith(("pub-", "nat-", "priv-")):
@@ -190,7 +238,7 @@ class Network:
                 return int(host.split("-", 1)[1])
             except ValueError:
                 pass
-        return hash(host) & 0x7FFFFFFF
+        return zlib.crc32(host.encode()) & 0x7FFFFFFF
 
     def _observe(
         self,

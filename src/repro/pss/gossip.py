@@ -70,6 +70,7 @@ class PssStats:
     received: int = 0  # passive exchanges served
     contact_failures: int = 0
     response_timeouts: int = 0
+    rebootstraps: int = 0  # view emptied; re-seeded from the introducers
 
 
 class PeerSamplingService:
@@ -106,6 +107,11 @@ class PeerSamplingService:
         # target -> (response timer, the sample we shipped to it)
         self._pending: dict[NodeId, tuple[Timer, list[ViewEntry]]] = {}
         self._task: PeriodicTask | None = None
+        # Kept from init() for re-bootstrap: a node whose view empties
+        # (every partner timed out during an outage, and the failure
+        # detectors of every other node dropped *it*) can only re-enter
+        # the mesh through an entry point, exactly as at first join.
+        self._introducers: list[NodeDescriptor] = []
 
     # ------------------------------------------------------------------
     # lifecycle (the paper's PSS API: init() / getPeer())
@@ -117,11 +123,10 @@ class PeerSamplingService:
         gossip system needs; natted nodes use the first public introducer
         for reflexive-endpoint discovery too.
         """
-        entries = [
-            ViewEntry(descriptor=d, age=0)
-            for d in introducers
-            if d.node_id != self.node_id
+        self._introducers = [
+            d for d in introducers if d.node_id != self.node_id
         ]
+        entries = [ViewEntry(descriptor=d, age=0) for d in self._introducers]
         self.view.replace_all(self.policy.truncate(entries))
         if self.cm.nat_type.is_natted:
             for descriptor in introducers:
@@ -170,7 +175,9 @@ class PeerSamplingService:
         self.view.increment_ages()
         partner = self.view.oldest()
         if partner is None:
-            return
+            partner = self._rebootstrap()
+            if partner is None:
+                return
         self.stats.initiated += 1
         target = partner.node_id
         # Shuffling semantics [19]: the selected (oldest) partner leaves the
@@ -183,6 +190,24 @@ class PeerSamplingService:
             on_ready=lambda: self._send_request(target),
             on_fail=lambda reason: self._contact_failed(target),
         )
+
+    def _rebootstrap(self) -> "ViewEntry | None":
+        """Total view loss: re-seed from the entry points, as at first join.
+
+        Happens after an outage long enough for every partner to time out
+        (the node stalled, or was partitioned away): all other nodes'
+        failure detectors have dropped this node too, so no inbound gossip
+        will ever repopulate the view on its own.
+        """
+        if not self._introducers:
+            return None
+        self.stats.rebootstraps += 1
+        self.telemetry.counter(
+            "pss.rebootstraps", node=self.node_id, layer="pss"
+        ).inc()
+        entries = [ViewEntry(descriptor=d, age=0) for d in self._introducers]
+        self.view.replace_all(self.policy.truncate(entries))
+        return self.view.oldest()
 
     def _contact_failed(self, target: NodeId) -> None:
         self.stats.contact_failures += 1

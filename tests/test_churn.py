@@ -51,6 +51,25 @@ class TestParser:
         with pytest.raises(ChurnScriptError):
             parse_script("from 0s to 30s join many")
 
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "from 0s to 30s join -5",  # negative count
+            "at 300s set replacement ratio to half",  # not a percentage
+            "from 300s to 1200s const churn 150% each 60s",  # >100%
+            "from 300s const churn 1% each 60s",  # missing window end
+            "at 1200s stop please",  # trailing junk
+            "at stop",  # missing time
+        ],
+    )
+    def test_malformed_churn_directive_raises(self, line):
+        with pytest.raises(ChurnScriptError):
+            parse_script(line)
+
+    def test_error_names_the_offending_line(self):
+        with pytest.raises(ChurnScriptError, match="join many"):
+            parse_script("at 5s stop\nfrom 0s to 30s join many")
+
 
 class TestDriver:
     def test_join_ramp_spawns_nodes(self):
@@ -94,6 +113,24 @@ class TestDriver:
         assert driver.stats.joined == 0
         assert len(world.alive_nodes()) < 50
 
+    def test_replacement_ratio_half_honored(self):
+        world = World(WorldConfig(seed=68))
+        world.populate(100)
+        world.start_all()
+        script = (
+            "at 0s set replacement ratio to 50%\n"
+            "from 10s to 250s const churn 10% each 60s"
+        )
+        driver = ChurnDriver(world, parse_script(script))
+        world.run(260.0)
+        assert driver.stats.killed > 0
+        # Each churn event replaces half its kills (rounded per event).
+        assert 0 < driver.stats.joined < driver.stats.killed
+        assert driver.stats.joined == pytest.approx(
+            driver.stats.killed / 2, abs=driver.stats.churn_events
+        )
+        assert len(world.alive_nodes()) < 100
+
     def test_stop_halts_churn(self):
         world = World(WorldConfig(seed=64))
         world.populate(50)
@@ -105,6 +142,20 @@ class TestDriver:
         driver = ChurnDriver(world, parse_script(script))
         world.run(400.0)
         assert driver.stats.churn_events <= 1  # only the t=10s event fires
+
+    def test_stop_cancels_pending_joins(self):
+        world = World(WorldConfig(seed=69))
+        driver = ChurnDriver(
+            world,
+            parse_script("from 0s to 100s join 100\nat 50s stop"),
+        )
+        world.run(200.0)
+        assert driver.stopped
+        # Roughly half the ramp fired before the stop; the queued
+        # remainder was cancelled outright, not merely guarded.
+        assert driver.stats.joined == pytest.approx(50, abs=2)
+        assert len(world.alive_nodes()) == driver.stats.joined
+        assert not driver._pending_events
 
     def test_protected_nodes_survive(self):
         world = World(WorldConfig(seed=65))

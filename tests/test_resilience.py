@@ -1,0 +1,167 @@
+"""Recovery hardening tests: backoff, keepalive eviction, fault recovery.
+
+The slow test at the bottom is the acceptance check for the resilience
+suite: a partition-and-heal scenario must return to within 5 points of its
+pre-fault exchange success rate, with private views re-converged onto live
+members.  The determinism test pins the other acceptance criterion: two
+same-seed runs under injected faults export byte-identical telemetry.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.churn import ChurnDriver, parse_script
+from repro.core.ppss import MemberState
+from repro.experiments.resilience import run_scenario
+from repro.harness import World, WorldConfig
+from repro.sim.process import ExponentialBackoff
+
+
+class TestExponentialBackoff:
+    def test_geometric_growth_and_cap(self):
+        backoff = ExponentialBackoff(base=1.0, factor=2.0, cap=10.0, jitter=0.0)
+        assert [backoff.delay(a) for a in range(5)] == [1.0, 2.0, 4.0, 8.0, 10.0]
+
+    def test_negative_attempt_clamps_to_base(self):
+        backoff = ExponentialBackoff(base=3.0, jitter=0.0)
+        assert backoff.delay(-2) == 3.0
+
+    def test_jitter_stays_in_band_and_is_deterministic(self):
+        delays = []
+        for _ in range(2):
+            backoff = ExponentialBackoff(
+                base=1.0, factor=2.0, jitter=0.2, rng=random.Random(99)
+            )
+            delays.append([backoff.delay(a) for a in range(20)])
+        assert delays[0] == delays[1]
+        for attempt, delay in enumerate(delays[0]):
+            raw = 2.0**attempt
+            assert 0.8 * raw <= delay <= 1.2 * raw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=1.0, jitter=1.0)
+
+
+class TestKeepaliveEviction:
+    def test_dead_peer_session_evicted_and_backlog_notified(self):
+        # PSS's own failure detector drops sessions to dead *gossip
+        # partners*; keepalive eviction covers the rest — long-lived
+        # CB/WCL sessions to peers nobody gossips with any more.  Model
+        # that directly: a session to a peer that no longer answers and
+        # that PSS will never select.
+        world = World(WorldConfig(seed=51))
+        world.populate(20)
+        world.start_all()
+        world.run(120.0)
+        survivor = next(
+            node for node in world.alive_nodes() if node.cm._sessions
+        )
+        template = next(iter(survivor.cm._sessions.values()))
+        ghost = 9999  # not a real node: probes vanish, nothing answers
+        survivor.cm._sessions[ghost] = replace(
+            template,
+            peer=ghost,
+            established_at=world.sim.now,
+            last_used=world.sim.now,
+            last_seen=0.0,
+            missed_probes=0,
+        )
+        # One idle interval + keepalive_misses unanswered probes + the
+        # eviction tick, at 60 s apiece, with slack.
+        world.run(400.0)
+        assert not survivor.cm.has_session(ghost)
+        assert survivor.cm.stats_sessions_evicted >= 1
+        assert survivor.backlog.stats_evictions_seen >= 1
+        assert ghost not in survivor.backlog
+
+    def test_live_sessions_survive_probing(self):
+        world = World(WorldConfig(seed=52))
+        world.populate(12)
+        world.start_all()
+        world.run(600.0)
+        # Plenty of idle periods have passed; live peers answered probes,
+        # so nothing was evicted.
+        for node in world.alive_nodes():
+            assert node.cm.stats_sessions_evicted == 0
+
+
+class TestXidMismatch:
+    def test_foreign_responder_does_not_close_exchange(self):
+        world = World(WorldConfig(seed=53))
+        world.populate(30)
+        world.start_all()
+        world.run(120.0)
+        nodes = world.alive_nodes()
+        leader = nodes[0]
+        group = leader.create_group("g")
+        members = [leader]
+        for node in nodes[1:8]:
+            node.join_group(group.invite(node.node_id))
+            members.append(node)
+        world.run(300.0)
+        ppss = leader.group("g")
+        assert ppss.state is MemberState.MEMBER
+        partner = next(iter(ppss.view_contacts()))
+        ppss._start_exchange(partner)
+        xid = max(ppss._pending)
+        imposter = next(
+            m for m in members[1:]
+            if m.node_id not in (partner.node_id, leader.node_id)
+        )
+        wrong_sender = imposter.group("g").self_contact()
+        before = ppss.stats.xid_mismatches
+        ppss._on_response({"xid": xid, "sender": wrong_sender, "buffer": []})
+        assert ppss.stats.xid_mismatches == before + 1
+        # The exchange stays open for the real partner.
+        assert xid in ppss._pending
+        assert ppss._pending[xid].partner.node_id == partner.node_id
+
+
+class TestDeterministicFaultTraces:
+    FAULT_SCRIPT = """
+        at 10s stall 10% for 60s
+        from 20s to 80s loss 10%
+        from 30s to 90s partition groups a|b
+        at 40s reset nat 50%
+    """
+
+    def test_same_seed_fault_runs_export_byte_identical(self, tmp_path):
+        texts = []
+        for run_no in range(2):
+            world = World(WorldConfig(seed=77, telemetry_enabled=True))
+            world.populate(24)
+            world.start_all()
+            world.run(30.0)
+            driver = ChurnDriver(world, parse_script(self.FAULT_SCRIPT))
+            world.run(150.0)
+            assert driver.injector is not None
+            assert driver.injector.stats.faults_activated > 0
+            path = tmp_path / f"trace-{run_no}.jsonl"
+            texts.append(world.telemetry.export_jsonl(str(path)))
+        assert texts[0] == texts[1]
+
+
+@pytest.mark.slow
+class TestPartitionHealRecovery:
+    def test_partition_and_heal_recovers(self):
+        result = run_scenario(
+            "partition", seed=2002, n_nodes=100, group_count=4
+        )
+        for window in ("before", "during", "after"):
+            assert result.windows[window][1] > 0, f"no samples in {window}"
+        # Post-heal success within 5 points of the pre-fault baseline.
+        assert result.recovered, (
+            f"before={result.rate('before'):.3f} "
+            f"after={result.rate('after'):.3f}"
+        )
+        # Private views re-converged onto live members.
+        assert result.view_recovery_ok
+        # The partition actually bit: mid-fault success collapsed.
+        assert result.rate("during") < result.rate("before")
