@@ -1,0 +1,12 @@
+"""Wire codec throughput + measured-vs-estimated sizes (EXPERIMENTS.md, "Wire format")."""
+
+from repro.experiments import bench_scale, wire_format
+
+
+def test_wire_codec(benchmark, record_report):
+    scale = bench_scale()
+    report = benchmark.pedantic(
+        lambda: wire_format.run(scale=scale), rounds=1, iterations=1
+    )
+    record_report("wire_format", report)
+    assert report.sections

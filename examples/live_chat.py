@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Two OS processes chat privately over real asyncio UDP sockets.
+
+This is the WHISPER stack *outside* the simulator: the same unmodified
+node code (PSS gossip, connection backlog, WCL onion routing, PPSS
+private groups) runs on :mod:`repro.runtime`'s asyncio scheduler, and
+every message crosses a real socket as a :mod:`repro.wire` frame.
+
+Topology: each process hosts two public nodes on 127.0.0.1 (four nodes
+total), because a WCL route needs two mixes distinct from both the sender
+and the final contact.
+
+- ``serve`` process — nodes 1 (introducer + group leader) and 2.  Prints
+  one handshake line on stdout: a JSON object with its endpoints and a
+  hex-encoded wire-codec invitation, then answers the first chat message
+  with a pong.
+- ``chat`` process — nodes 11 and 12.  Bootstraps PSS from the printed
+  introducers, redeems the invitation (the ``group.join`` travels inside
+  an onion), then sends an onion-routed private message and waits for
+  the reply.
+
+Run (single command; it orchestrates both processes)::
+
+    python examples/live_chat.py
+
+Or by hand, in two shells::
+
+    python examples/live_chat.py serve
+    python examples/live_chat.py chat --handshake '<json from serve>'
+
+Exit code 0 means the chat process received the onion-routed reply —
+the assertion the CI live-smoke job makes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.node import WhisperConfig
+from repro.core.ppss import MemberState, PpssConfig
+from repro.pss.gossip import PssConfig
+from repro.runtime import LiveRuntime
+from repro.wire import decode_blob, encode_blob
+
+GROUP = "wire-room"
+SERVE_NODES = (1, 2)
+CHAT_NODES = (11, 12)
+
+
+def fast_config() -> WhisperConfig:
+    """Second-scale timers so the demo converges in seconds, not minutes."""
+    return WhisperConfig(
+        pss=PssConfig(exchange_keys=True, cycle_time=0.5, response_timeout=2.0),
+        ppss=PpssConfig(cycle_time=1.0, join_retry_every=1.0, response_timeout=3.0),
+    )
+
+
+def build_runtime(seed: int, node_ids: tuple[int, ...], host: str) -> LiveRuntime:
+    rt = LiveRuntime(
+        host=host, seed=seed, provider="real", key_bits=512, whisper=fast_config()
+    )
+    for nid in node_ids:
+        rt.add_node(nid)
+    return rt
+
+
+# ---------------------------------------------------------------------------
+def serve(args: argparse.Namespace) -> int:
+    rt = build_runtime(seed=args.seed, node_ids=SERVE_NODES, host=args.host)
+    intro = rt.descriptor(SERVE_NODES[0])
+    rt.start([intro])
+    # The backlog needs keyed mixes before any onion can be built; with only
+    # our two local nodes up, that completes after a couple of PSS cycles.
+    leader = rt.nodes[SERVE_NODES[0]].create_group(GROUP)
+    invitation = leader.invite()  # bearer token: the chat process redeems it
+
+    handshake = {
+        "introducers": [
+            [nid, rt.network.endpoints[nid].host, rt.network.endpoints[nid].port]
+            for nid in SERVE_NODES
+        ],
+        "invitation": encode_blob(invitation).hex(),
+    }
+    print(json.dumps(handshake), flush=True)
+
+    state = {"question": None, "answered": False}
+
+    def on_app(payload, reply_to) -> None:
+        if not isinstance(payload, dict) or payload.get("app") != "live-chat":
+            return
+        state["question"] = payload.get("text")
+        print(f"[serve] onion-routed message arrived: {payload['text']!r}", flush=True)
+        if reply_to is not None:
+            leader.send_app(
+                reply_to, {"app": "live-chat", "text": f"pong: {payload['text']}"}, 256
+            )
+            state["answered"] = True
+
+    leader.set_app_handler(on_app)
+    rt.run_until(lambda: state["answered"], timeout=args.duration)
+    # Linger so the final onion hops (the reply may route through us) drain.
+    rt.run_for(2.0)
+    rt.close()
+    return 0 if state["answered"] else 1
+
+
+# ---------------------------------------------------------------------------
+def chat(args: argparse.Namespace) -> int:
+    handshake = json.loads(args.handshake)
+    invitation = decode_blob(bytes.fromhex(handshake["invitation"]))
+
+    rt = build_runtime(seed=args.seed + 1, node_ids=CHAT_NODES, host=args.host)
+    introducers = [
+        LiveRuntime.remote_descriptor(nid, host, port)
+        for nid, host, port in handshake["introducers"]
+    ]
+    rt.start(introducers)
+
+    sender = rt.nodes[CHAT_NODES[0]]
+    # Onion building needs >= 2 keyed backlog entries (first + second mix).
+    if not rt.run_until(lambda: len(sender.backlog.entries()) >= 2, timeout=30):
+        print("[chat] backlog never filled", file=sys.stderr)
+        rt.close()
+        return 1
+    print("[chat] PSS exchange complete, backlog ready", flush=True)
+
+    ppss = sender.join_group(invitation)
+    if not rt.run_until(lambda: ppss.state is MemberState.MEMBER, timeout=45):
+        print("[chat] group join timed out", file=sys.stderr)
+        rt.close()
+        return 1
+    print(f"[chat] joined group {GROUP!r} via onion-routed join", flush=True)
+
+    replies: list[str] = []
+
+    def on_app(payload, reply_to) -> None:
+        if isinstance(payload, dict) and payload.get("app") == "live-chat":
+            replies.append(payload.get("text"))
+
+    ppss.set_app_handler(on_app)
+    ppss.send_app(
+        invitation.entry_point,
+        {"app": "live-chat", "text": "hello over real sockets"},
+        256,
+    )
+    ok = rt.run_until(lambda: bool(replies), timeout=45)
+    if ok:
+        print(f"CHAT_OK reply={replies[0]!r}", flush=True)
+    else:
+        print("[chat] no reply before timeout", file=sys.stderr)
+    rt.close()
+    return 0 if ok else 1
+
+
+# ---------------------------------------------------------------------------
+def orchestrate(args: argparse.Namespace) -> int:
+    """Spawn the serve process, run the chat process, assert success."""
+    serve_proc = subprocess.Popen(
+        [
+            sys.executable, __file__, "serve",
+            "--seed", str(args.seed),
+            "--host", args.host,
+            "--duration", str(args.duration),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        assert serve_proc.stdout is not None
+        line = serve_proc.stdout.readline().strip()
+        if not line:
+            print("serve process printed no handshake", file=sys.stderr)
+            return 1
+        print(f"[orchestrator] handshake: {line[:80]}...", flush=True)
+        code = chat(
+            argparse.Namespace(
+                handshake=line, seed=args.seed, host=args.host
+            )
+        )
+        if code == 0:
+            print("[orchestrator] two-process onion-routed chat: OK", flush=True)
+        return code
+    finally:
+        serve_proc.terminate()
+        try:
+            serve_proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            serve_proc.kill()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("role", nargs="?", choices=["serve", "chat"], default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--handshake", help="JSON printed by the serve process")
+    args = parser.parse_args()
+    if args.role == "serve":
+        return serve(args)
+    if args.role == "chat":
+        if not args.handshake:
+            parser.error("chat role needs --handshake")
+        return chat(args)
+    return orchestrate(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

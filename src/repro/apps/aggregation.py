@@ -15,7 +15,7 @@ from typing import Callable
 
 from ..core.contact import PrivateContact
 from ..core.ppss import PrivatePeerSamplingService
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import PeriodicTask
 
 __all__ = ["AggregationProtocol", "max_merge", "average_merge"]
@@ -56,7 +56,7 @@ class AggregationProtocol:
         self,
         name: str,
         ppss: PrivatePeerSamplingService,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         initial: float,
         merge: Callable[[float, float], tuple[float, float]] = max_merge,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 
 from ..core.ppss import PrivatePeerSamplingService
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from .aggregation import AggregationProtocol, average_merge
 
 __all__ = ["SizeEstimator"]
@@ -25,7 +25,7 @@ class SizeEstimator:
     def __init__(
         self,
         ppss: PrivatePeerSamplingService,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         is_initiator: bool,
         cycle_time: float = 20.0,

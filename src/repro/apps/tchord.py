@@ -24,7 +24,7 @@ from typing import Callable
 from ..core.contact import PrivateContact
 from ..core.ppss import PrivatePeerSamplingService
 from ..net.address import NodeId
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import Timer
 from .chord import (
     FingerTable,
@@ -81,7 +81,7 @@ class TChordNode:
     def __init__(
         self,
         ppss: PrivatePeerSamplingService,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         cycle_time: float = 20.0,
         lookup_timeout: float = 30.0,

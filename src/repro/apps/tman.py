@@ -20,7 +20,7 @@ from typing import Any, Callable
 from ..core.contact import PrivateContact
 from ..core.ppss import PrivatePeerSamplingService
 from ..net.address import NodeId
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import PeriodicTask
 
 __all__ = ["TManEntry", "TManProtocol"]
@@ -56,7 +56,7 @@ class TManProtocol:
         self,
         name: str,
         ppss: PrivatePeerSamplingService,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         profile: Any,
         selector: Selector,

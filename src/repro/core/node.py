@@ -22,7 +22,7 @@ from ..net.message import Message
 from ..net.network import Network
 from ..pss.gossip import PeerSamplingService, PssConfig
 from ..pss.policies import BiasedHealerPolicy
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import ConnectionBacklog
 from .group import Invitation
@@ -51,7 +51,7 @@ class WhisperNode:
         self,
         node_id: NodeId,
         nat_type: NatType,
-        sim: Simulator,
+        sim: Clock,
         network: Network,
         provider: CryptoProvider,
         rng: random.Random,

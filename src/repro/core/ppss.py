@@ -32,7 +32,7 @@ from typing import Any, Callable
 from ..crypto.provider import CryptoProvider
 from ..net.address import NodeId
 from ..net.message import sizes
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import ExponentialBackoff, PeriodicTask, Timer
 from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .backlog import ConnectionBacklog
@@ -151,7 +151,7 @@ class PrivatePeerSamplingService:
         wcl: WhisperCommunicationLayer,
         backlog: ConnectionBacklog,
         provider: CryptoProvider,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         config: PpssConfig | None = None,
         telemetry: Telemetry | None = None,

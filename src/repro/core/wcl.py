@@ -25,7 +25,7 @@ from ..crypto.provider import CryptoError, CryptoProvider, KeyPair, PublicKey
 from ..nat.traversal import ConnectionManager, NodeDescriptor
 from ..net.address import Endpoint, NodeId, NodeKind
 from ..nat.types import NatType
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import CbEntry, ConnectionBacklog
 from .contact import Gateway, PrivateContact
@@ -69,7 +69,7 @@ class WhisperCommunicationLayer:
         cm: ConnectionManager,
         backlog: ConnectionBacklog,
         provider: CryptoProvider,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         telemetry: Telemetry | None = None,
     ) -> None:

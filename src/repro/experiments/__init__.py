@@ -13,6 +13,7 @@ from . import (
     fig9_tchord,
     table1_churn,
     table2_cpu,
+    wire_format,
 )
 from .common import bench_scale
 
@@ -25,6 +26,7 @@ __all__ = [
     "fig9_tchord",
     "table1_churn",
     "table2_cpu",
+    "wire_format",
 ]
 
 from . import ablations  # noqa: E402  (ablation studies beyond the paper)

@@ -25,6 +25,7 @@ from . import (
     resilience,
     table1_churn,
     table2_cpu,
+    wire_format,
 )
 
 EXPERIMENTS = {
@@ -37,6 +38,8 @@ EXPERIMENTS = {
     "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
     "fig8": ("Fig. 8 — bandwidth vs groups", fig8_group_bandwidth.run),
     "fig9": ("Fig. 9 — T-Chord routing delays", fig9_tchord.run),
+    "wire": ("Wire format — codec throughput and measured sizes",
+             wire_format.run),
     "ablation-path": ("Ablation — path length", ablations.run_path_length),
     "ablation-pi": ("Ablation — Pi sweep", ablations.run_pi_sweep),
     "ablation-leases": ("Ablation — NAT leases", ablations.run_session_leases),

@@ -43,8 +43,15 @@ def run(
     seed: int = 1006,
     warmup_cycles: int = 20,
     window_cycles: int = 20,
+    wire_mode: str = "off",
 ) -> Report:
-    report = Report(title="Fig. 6 — Key sampling bandwidth (KB per 10 s cycle)")
+    """``wire_mode="measured"`` re-runs the figure with codec-true frame
+    sizes instead of the paper's ``WireSizes`` estimates (see
+    EXPERIMENTS.md, "Wire format")."""
+    suffix = " [codec-measured sizes]" if wire_mode == "measured" else ""
+    report = Report(
+        title="Fig. 6 — Key sampling bandwidth (KB per 10 s cycle)" + suffix
+    )
     n_nodes = scaled(1000, scale, minimum=100)
     cycle = 10.0
     for natted_fraction in RATIOS:
@@ -65,6 +72,7 @@ def run(
                         pi=pi,
                         pss=PssConfig(exchange_keys=exchange_keys),
                     ),
+                    wire_mode=wire_mode,
                 )
             )
             world.populate(n_nodes)

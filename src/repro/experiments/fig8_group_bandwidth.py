@@ -33,9 +33,14 @@ def run(
     seed: int = 1008,
     memberships: tuple[int, ...] = GROUPS_PER_NODE,
     window_cycles: int = 5,
+    wire_mode: str = "off",
 ) -> Report:
+    """``wire_mode="measured"`` re-runs the figure with codec-true frame
+    sizes instead of the paper's ``WireSizes`` estimates (see
+    EXPERIMENTS.md, "Wire format")."""
+    suffix = " [codec-measured sizes]" if wire_mode == "measured" else ""
     report = Report(
-        title="Fig. 8 — Bandwidth vs. groups per node (KB/s, PlanetLab)"
+        title="Fig. 8 — Bandwidth vs. groups per node (KB/s, PlanetLab)" + suffix
     )
     n_nodes = scaled(400, scale, minimum=60)
     for direction in ("up", "down"):
@@ -49,7 +54,7 @@ def run(
             report.add(table)
     tables = report.sections  # [P-up, N-up, P-down, N-down]
     for per_node in memberships:
-        rows = _run_one(per_node, seed + per_node, n_nodes, window_cycles)
+        rows = _run_one(per_node, seed + per_node, n_nodes, window_cycles, wire_mode)
         for table, stacked in zip(tables, rows):
             table.add_row(
                 per_node,
@@ -65,9 +70,15 @@ def run(
     return report
 
 
-def _run_one(per_node: int, seed: int, n_nodes: int, window_cycles: int):
+def _run_one(
+    per_node: int, seed: int, n_nodes: int, window_cycles: int,
+    wire_mode: str = "off",
+):
     world = World(
-        WorldConfig(seed=seed, latency="planetlab", telemetry_enabled=True)
+        WorldConfig(
+            seed=seed, latency="planetlab", telemetry_enabled=True,
+            wire_mode=wire_mode,
+        )
     )
     world.populate(n_nodes)
     world.start_all()

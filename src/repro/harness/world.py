@@ -56,6 +56,7 @@ class WorldConfig:
     telemetry_enabled: bool = False
     trace_enabled: bool = False  # legacy alias; either flag turns telemetry on
     cost_model: CostModel = field(default_factory=CostModel)
+    wire_mode: str = "off"  # "off" | "verify" | "measured"; see Network.set_wire_mode
 
 
 class World:
@@ -76,6 +77,7 @@ class World:
         self.network = Network(
             self.sim, self.topology, self._make_latency(),
             telemetry=self.telemetry,
+            wire_mode=self.config.wire_mode,
         )
         self.accountant = CpuAccountant(
             self.config.cost_model, rng=self.registry.stream("cpu")

@@ -40,7 +40,7 @@ from typing import Callable
 from ..net.address import Endpoint, NodeId, NodeKind, Protocol
 from ..net.message import Message, sizes
 from ..net.network import Network
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import PeriodicTask
 from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from .types import NatType, hole_punching_possible
@@ -168,7 +168,7 @@ class ConnectionManager:
         self,
         node_id: NodeId,
         nat_type: NatType,
-        sim: Simulator,
+        sim: Clock,
         network: Network,
         policy: TraversalPolicy | None = None,
         deliver_upcall: Callable[[NodeId, str, object, int], None] | None = None,
@@ -197,7 +197,7 @@ class ConnectionManager:
     # identity helpers
     # ------------------------------------------------------------------
     @property
-    def sim(self) -> Simulator:
+    def sim(self) -> Clock:
         return self._sim
 
     @property

@@ -4,7 +4,11 @@ The paper reports bandwidth in KB per PSS cycle (Fig. 6) and KB/s stacked
 percentiles (Fig. 8), split by direction and by traffic category (gossip
 entries vs public keys vs WCL payloads).  The accountant records every
 delivered message against its sender (upload) and receiver (download),
-tagged with a free-form category so experiments can slice the totals.
+tagged with a category so experiments can slice the totals.  Categories
+are a *closed* set (:data:`KNOWN_CATEGORIES`, extensible per accountant
+via :meth:`BandwidthAccountant.register_category`): recording against an
+unknown category raises immediately, so a new wire message kind cannot
+silently land in an untracked bucket and vanish from the figures.
 """
 
 from __future__ import annotations
@@ -14,7 +18,17 @@ from dataclasses import dataclass, field
 
 from .address import NodeId
 
-__all__ = ["BandwidthAccountant", "TrafficTotals"]
+__all__ = ["BandwidthAccountant", "TrafficTotals", "KNOWN_CATEGORIES"]
+
+KNOWN_CATEGORIES: frozenset[str] = frozenset(
+    {"pss", "nat", "nat.relay", "wcl", "wcl.cb", "app", "other"}
+)
+"""Every traffic category the stack emits.
+
+This must stay in sync with the categories declared per message kind in
+:mod:`repro.wire.registry`; ``tests/test_wire_codec.py`` asserts the
+registry only uses categories listed here.
+"""
 
 
 @dataclass
@@ -46,9 +60,24 @@ class BandwidthAccountant:
     def __init__(self) -> None:
         self._totals: dict[NodeId, TrafficTotals] = defaultdict(TrafficTotals)
         self._window: dict[NodeId, TrafficTotals] = defaultdict(TrafficTotals)
+        self._known_categories = set(KNOWN_CATEGORIES)
+
+    def register_category(self, category: str) -> None:
+        """Allow an extra category (experiment-local traffic classes)."""
+        self._known_categories.add(category)
 
     def record(self, src: NodeId, dst: NodeId, size: int, category: str) -> None:
-        """Charge ``size`` bytes: upload at ``src``, download at ``dst``."""
+        """Charge ``size`` bytes: upload at ``src``, download at ``dst``.
+
+        Raises ``ValueError`` for categories no experiment slices on — an
+        unknown category means a message kind was wired up without deciding
+        where its bytes belong in the figures.
+        """
+        if category not in self._known_categories:
+            raise ValueError(
+                f"unknown traffic category {category!r}; add it to "
+                "KNOWN_CATEGORIES or register_category() before recording"
+            )
         self._totals[src].record_up(size, category)
         self._totals[dst].record_down(size, category)
         self._window[src].record_up(size, category)

@@ -8,15 +8,12 @@ paper's wire format assumptions: 1 KB public keys, small view entries, etc.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from .address import Endpoint, Protocol
 
 __all__ = ["Message", "sizes", "WireSizes"]
-
-_msg_counter = itertools.count()
 
 
 @dataclass(slots=True)
@@ -27,6 +24,12 @@ class Message:
     ``origin_src`` records the endpoint as emitted, which NAT devices need
     for their mapping tables.  ``kind`` is a short routing tag consumed by
     the receiving protocol stack (e.g. ``"pss.request"``, ``"wcl.onion"``).
+
+    ``msg_id`` is assigned by the network fabric that carries the message,
+    from a *per-network* counter: two Worlds in one process draw from
+    independent sequences, so creating a second World can never perturb
+    the ids that appear in the first one's trace exports.  ``-1`` marks a
+    message constructed outside any fabric (unit tests, observers).
     """
 
     src: Endpoint
@@ -35,7 +38,7 @@ class Message:
     payload: Any
     size_bytes: int
     protocol: Protocol = Protocol.UDP
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    msg_id: int = -1
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -14,6 +14,7 @@ ingress filter, since a wiretap sees those too.
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
@@ -73,6 +74,7 @@ class Network:
         latency: LatencyModel,
         accountant: BandwidthAccountant | None = None,
         telemetry: "Telemetry | None" = None,
+        wire_mode: str = "off",
     ) -> None:
         self._sim = sim
         self._topology = topology
@@ -83,6 +85,42 @@ class Network:
         self._observers: list[LinkObserver] = []
         self._fault_hook: FaultHook | None = None
         self.stats = NetworkStats()
+        # Per-network message ids: a second Network (second World) in the
+        # same process draws from its own sequence, keeping trace exports
+        # independent of unrelated activity.
+        self._msg_ids = itertools.count()
+        self.wire_audit = None
+        self._wire = None  # lazily-imported repro.wire module
+        self.set_wire_mode(wire_mode)
+
+    def set_wire_mode(self, mode: str) -> None:
+        """Select how the binary codec participates in the sim fabric.
+
+        - ``"off"`` — payloads travel as Python objects, sizes are the
+          protocol layers' ``WireSizes`` estimates (the historical mode);
+        - ``"verify"`` — every send is encoded to a wire frame and decoded
+          back (loopback codec pass-through); accounting keeps the
+          *estimated* sizes, so traces stay comparable with ``"off"``
+          while measured frame sizes accumulate in :attr:`wire_audit`;
+        - ``"measured"`` — like ``"verify"`` but bandwidth accounting and
+          latency use the *encoded* frame size, making every byte count a
+          measurement instead of a model.
+        """
+        if mode not in ("off", "verify", "measured"):
+            raise ValueError(f"unknown wire mode: {mode!r}")
+        if mode != "off" and self._wire is None:
+            # Imported lazily: repro.wire registers codecs for dataclasses
+            # across nat/, pss/, core/, which themselves import this module.
+            from .. import wire as _wire
+            from ..wire.audit import WireAudit
+
+            self._wire = _wire
+            self.wire_audit = WireAudit()
+        self._wire_mode = mode
+
+    @property
+    def wire_mode(self) -> str:
+        return self._wire_mode
 
     # ------------------------------------------------------------------
     # membership
@@ -134,6 +172,15 @@ class Network:
         if not self._topology.knows(src_node):
             self.stats.filtered += 1
             return
+        if self._wire_mode != "off":
+            # Loopback codec pass-through: the payload the receiver sees has
+            # been through encode->decode, so any value the codec cannot
+            # carry fails here, in the sim, instead of on a live socket.
+            frame = self._wire.encode_message(kind, payload)
+            self.wire_audit.record(kind, size_bytes, len(frame))
+            payload = self._wire.decode_message(frame).payload
+            if self._wire_mode == "measured":
+                size_bytes = len(frame)
         visible_src = self._topology.translate_outbound(src_node, dst, protocol, now)
         self.stats.sent += 1
         self.accountant.record(src_node, -1, size_bytes, category)  # upload side
@@ -165,6 +212,7 @@ class Network:
             payload=payload,
             size_bytes=size_bytes,
             protocol=protocol,
+            msg_id=next(self._msg_ids),
         )
         self._sim.schedule(
             delay, lambda: self._deliver(src_node, message, category)

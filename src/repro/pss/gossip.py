@@ -32,7 +32,7 @@ from ..crypto.provider import PublicKey
 from ..nat.traversal import ConnectionManager, NodeDescriptor
 from ..net.address import NodeId
 from ..net.message import sizes
-from ..sim.engine import Simulator
+from ..sim.clock import Clock
 from ..sim.process import PeriodicTask, Timer
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .policies import HealerPolicy, TruncationPolicy
@@ -80,7 +80,7 @@ class PeerSamplingService:
         self,
         node_id: NodeId,
         cm: ConnectionManager,
-        sim: Simulator,
+        sim: Clock,
         rng: random.Random,
         config: PssConfig | None = None,
         policy: TruncationPolicy | None = None,

@@ -1,0 +1,28 @@
+"""Live runtime: the WHISPER stack on real sockets and a real clock.
+
+The protocol layers are written against two structural interfaces — the
+:class:`repro.sim.clock.Clock` scheduling surface and the network fabric's
+``send``/``attach``/``topology`` surface.  The simulator implements both
+deterministically; this package implements both *live*:
+
+- :class:`AsyncioScheduler` — ``Clock`` backed by an asyncio event loop;
+- :class:`LiveNetwork` — the fabric surface backed by one UDP socket per
+  hosted node, every datagram a :mod:`repro.wire` frame;
+- :class:`LiveRuntime` — convenience host that assembles scheduler,
+  network, crypto and unmodified :class:`~repro.core.node.WhisperNode`
+  stacks inside one OS process.
+
+``examples/live_chat.py`` uses this to run a PSS exchange and an
+onion-routed private message between two OS processes over loopback.
+"""
+
+from .clock import AsyncioScheduler, ScheduledCall
+from .live import LiveNetwork, LiveNetworkStats, LiveRuntime
+
+__all__ = [
+    "AsyncioScheduler",
+    "ScheduledCall",
+    "LiveNetwork",
+    "LiveNetworkStats",
+    "LiveRuntime",
+]

@@ -1,0 +1,116 @@
+"""An asyncio-backed implementation of the :class:`~repro.sim.clock.Clock` surface.
+
+The protocol layers (PSS cycles, keepalive probes, PPSS timers, backoffs)
+only ever call ``now`` / ``schedule`` / ``schedule_at`` and cancel the
+handles they get back.  :class:`AsyncioScheduler` maps those onto an
+asyncio event loop: ``now`` is the loop's monotonic clock rebased to 0 at
+construction (so protocol code sees the same "time since boot" frame the
+simulator provides), and scheduled callbacks become ``call_later``
+handles wrapped to expose the ``cancelled`` attribute the sim's timers
+inspect.
+
+Like the simulator, negative delays are rejected loudly — a negative
+timeout is always a protocol bug, and the live runtime should fail the
+same way the deterministic one does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+__all__ = ["AsyncioScheduler", "ScheduledCall"]
+
+
+class ScheduledCall:
+    """Cancellable handle for a callback scheduled on the event loop."""
+
+    __slots__ = ("time", "cancelled", "_callback", "_handle")
+
+    def __init__(self, time: float, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.cancelled = False
+        self._callback = callback
+        self._handle: asyncio.TimerHandle | None = None
+
+    def cancel(self) -> None:
+        """Idempotent; a cancelled callback never fires."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._handle is not None:
+                self._handle.cancel()
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self._callback()
+
+
+class AsyncioScheduler:
+    """``Clock`` implementation driving callbacks from an asyncio loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.new_event_loop()
+        self._t0 = self._loop.time()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Seconds since this scheduler was created (monotonic)."""
+        return self._loop.time() - self._t0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], priority: int = 0
+    ) -> ScheduledCall:
+        """Run ``callback`` after ``delay`` seconds of wall-clock time.
+
+        ``priority`` is accepted for interface compatibility with the
+        simulator; wall-clock delivery order between same-instant events
+        is the event loop's FIFO order.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay:.6f}s in the past")
+        call = ScheduledCall(self.now + delay, callback)
+        call._handle = self._loop.call_later(delay, call._fire)
+        return call
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], priority: int = 0
+    ) -> ScheduledCall:
+        """Run ``callback`` at absolute scheduler time ``time``."""
+        delay = time - self.now
+        if delay < 0:
+            raise ValueError(f"cannot schedule at {time:.6f}, now is {self.now:.6f}")
+        return self.schedule(delay, callback, priority)
+
+    # ------------------------------------------------------------------
+    # loop driving helpers (used by LiveRuntime and tests)
+    # ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        """Drive the loop for ``seconds`` of wall-clock time."""
+        self._loop.run_until_complete(asyncio.sleep(seconds))
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        poll: float = 0.02,
+    ) -> bool:
+        """Drive the loop until ``predicate()`` or ``timeout``; True on success."""
+
+        async def wait() -> bool:
+            deadline = self._loop.time() + timeout
+            while True:
+                if predicate():
+                    return True
+                if self._loop.time() >= deadline:
+                    return False
+                await asyncio.sleep(poll)
+
+        return self._loop.run_until_complete(wait())
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            self._loop.close()

@@ -1,0 +1,334 @@
+"""Live UDP fabric: the network surface of :class:`repro.net.network.Network`
+backed by real sockets.
+
+Each hosted node gets its *own* datagram socket.  That mirrors a real
+deployment (one process, one port per node) and makes inbound routing
+trivial: whatever arrives on a node's socket is for that node, so wire
+frames never need to carry a destination node id — exactly like the sim
+fabric, where the destination is the endpoint the packet was sent to.
+
+Every datagram is a :mod:`repro.wire` frame.  Frames that fail to decode
+(garbage, truncation, foreign versions) are counted and dropped, which is
+the live analogue of the sim's silent UDP loss: the protocol layers
+already recover from missing messages, so the transport never guesses.
+
+The ``Message.src`` handed to the stack is the *observed* sender address
+from ``recvfrom`` — on a NATed path that is the NAT's external mapping,
+which is precisely the semantics the sim's NAT topology models and what
+``nat.pong``'s reflexive-endpoint echo relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..crypto.costmodel import CostModel, CpuAccountant
+from ..crypto.provider import (
+    CryptoProvider,
+    RealCryptoProvider,
+    SimCryptoProvider,
+)
+from ..core.node import WhisperConfig, WhisperNode
+from ..nat.traversal import NodeDescriptor
+from ..nat.types import NatType
+from ..net.address import Endpoint, NodeId, NodeKind, Protocol
+from ..net.bandwidth import BandwidthAccountant
+from ..net.message import Message
+from ..sim.rng import RngRegistry
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .. import wire
+from ..wire.audit import WireAudit
+from .clock import AsyncioScheduler
+
+if TYPE_CHECKING:
+    import asyncio
+
+__all__ = ["LiveNetwork", "LiveNetworkStats", "LiveRuntime"]
+
+Handler = Callable[[Message], None]
+
+
+class LiveNetworkStats:
+    """Transport counters (mirrors the sim fabric's NetworkStats)."""
+
+    __slots__ = ("sent", "delivered", "rejected", "no_handler", "filtered")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.rejected = 0  # datagrams that failed wire decoding
+        self.no_handler = 0
+        self.filtered = 0  # sends from nodes without an open socket
+
+
+class _LiveTopology:
+    """The small slice of the NAT topology surface the stack consults."""
+
+    def __init__(self, network: "LiveNetwork") -> None:
+        self._network = network
+
+    def knows(self, node_id: NodeId) -> bool:
+        return node_id in self._network.endpoints
+
+    def public_endpoint(self, node_id: NodeId) -> Endpoint:
+        return self._network.endpoints[node_id]
+
+
+class _NodePort:
+    """asyncio.DatagramProtocol delivering to the owning LiveNetwork."""
+
+    def __init__(self, network: "LiveNetwork", node_id: NodeId) -> None:
+        self._network = network
+        self._node_id = node_id
+
+    def connection_made(self, transport: "asyncio.DatagramTransport") -> None:
+        pass
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        pass
+
+    def error_received(self, exc: Exception) -> None:
+        pass
+
+    def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
+        self._network._on_datagram(self._node_id, data, addr)
+
+    def pause_writing(self) -> None:  # pragma: no cover - flow control hooks
+        pass
+
+    def resume_writing(self) -> None:  # pragma: no cover
+        pass
+
+
+class LiveNetwork:
+    """Duck-typed :class:`~repro.net.network.Network` over asyncio UDP."""
+
+    def __init__(
+        self,
+        scheduler: AsyncioScheduler,
+        host: str = "127.0.0.1",
+        accountant: BandwidthAccountant | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._host = host
+        self.accountant = accountant if accountant is not None else BandwidthAccountant()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.endpoints: dict[NodeId, Endpoint] = {}
+        self._transports: dict[NodeId, "asyncio.DatagramTransport"] = {}
+        self._handlers: dict[NodeId, Handler] = {}
+        self._topology = _LiveTopology(self)
+        self.stats = LiveNetworkStats()
+        self.wire_audit = WireAudit()
+        self._msg_ids = iter(range(0, 1 << 62))
+
+    # ------------------------------------------------------------------
+    # sockets
+    # ------------------------------------------------------------------
+    def open_endpoint(self, node_id: NodeId, port: int = 0) -> Endpoint:
+        """Bind a UDP socket for ``node_id``; port 0 lets the OS pick."""
+        if node_id in self._transports:
+            return self.endpoints[node_id]
+        loop = self._scheduler.loop
+        transport, _ = loop.run_until_complete(
+            loop.create_datagram_endpoint(
+                lambda: _NodePort(self, node_id),
+                local_addr=(self._host, port),
+            )
+        )
+        sock_host, sock_port = transport.get_extra_info("sockname")[:2]
+        endpoint = Endpoint(sock_host, sock_port)
+        self.endpoints[node_id] = endpoint
+        self._transports[node_id] = transport
+        return endpoint
+
+    def close_endpoint(self, node_id: NodeId) -> None:
+        transport = self._transports.pop(node_id, None)
+        if transport is not None:
+            transport.close()
+        self.endpoints.pop(node_id, None)
+        self._handlers.pop(node_id, None)
+
+    def close(self) -> None:
+        for node_id in list(self._transports):
+            self.close_endpoint(node_id)
+
+    # ------------------------------------------------------------------
+    # fabric surface consumed by the protocol stack
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> _LiveTopology:
+        return self._topology
+
+    def attach(self, node_id: NodeId, handler: Handler) -> None:
+        if node_id not in self._transports:
+            raise ValueError(f"node {node_id} has no open endpoint")
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: NodeId) -> None:
+        self._handlers.pop(node_id, None)
+
+    def is_attached(self, node_id: NodeId) -> bool:
+        return node_id in self._handlers
+
+    def send(
+        self,
+        src_node: NodeId,
+        dst: Endpoint,
+        kind: str,
+        payload: object,
+        size_bytes: int,
+        protocol: Protocol = Protocol.UDP,
+        category: str = "other",
+    ) -> None:
+        """Encode one protocol message and put it on the wire.
+
+        Fire-and-forget, like the sim fabric: a send from a node whose
+        socket is gone is dropped silently.
+        """
+        transport = self._transports.get(src_node)
+        if transport is None or transport.is_closing():
+            self.stats.filtered += 1
+            return
+        frame = wire.encode_message(kind, payload)
+        self.wire_audit.record(kind, size_bytes, len(frame))
+        self.stats.sent += 1
+        self.accountant.record(src_node, -1, len(frame), category)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
+            tel.counter("net.up_bytes", node=src_node, layer="net").inc(len(frame))
+            tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
+        transport.sendto(frame, (dst.host, dst.port))
+
+    # ------------------------------------------------------------------
+    def _on_datagram(self, node_id: NodeId, data: bytes, addr: tuple[str, int]) -> None:
+        try:
+            decoded = wire.decode_message(data)
+        except wire.WireDecodeError:
+            self.stats.rejected += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter("net.wire_rejected", layer="net").inc()
+            return
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            self.stats.no_handler += 1
+            return
+        message = Message(
+            src=Endpoint(addr[0], addr[1]),
+            dst=self.endpoints[node_id],
+            kind=decoded.kind,
+            payload=decoded.payload,
+            size_bytes=len(data),
+            protocol=Protocol.UDP,
+            msg_id=next(self._msg_ids),
+        )
+        self.stats.delivered += 1
+        self.accountant.record(-1, node_id, len(data), wire.category_for(decoded.kind))
+        if self.telemetry.enabled:
+            self.telemetry.counter("net.msgs_delivered", node=node_id, layer="net").inc()
+            self.telemetry.counter("net.down_bytes", node=node_id, layer="net").inc(
+                len(data)
+            )
+        handler(message)
+
+
+class LiveRuntime:
+    """One OS process hosting unmodified WhisperNode stacks on real sockets."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+        provider: str = "real",
+        key_bits: int = 512,
+        whisper: WhisperConfig | None = None,
+        telemetry_enabled: bool = False,
+    ) -> None:
+        self.scheduler = AsyncioScheduler()
+        self.telemetry = Telemetry(
+            clock=lambda: self.scheduler.now, enabled=telemetry_enabled
+        )
+        self.accountant = BandwidthAccountant()
+        self.network = LiveNetwork(
+            self.scheduler, host, accountant=self.accountant, telemetry=self.telemetry
+        )
+        self.registry = RngRegistry(seed)
+        # Cost accounting still records what each operation *would* cost
+        # under the paper's model; live runs additionally pay the real CPU
+        # time, so nothing sleeps on the model's behalf.
+        self.cpu = CpuAccountant(CostModel(), rng=None)
+        self.provider = self._make_provider(provider, key_bits)
+        self.whisper = whisper if whisper is not None else WhisperConfig()
+        self.nodes: dict[NodeId, WhisperNode] = {}
+
+    def _make_provider(self, provider: str, key_bits: int) -> CryptoProvider:
+        rng = self.registry.stream("crypto")
+        if provider == "sim":
+            return SimCryptoProvider(rng, self.cpu)
+        if provider == "real":
+            return RealCryptoProvider(rng, self.cpu, key_bits=key_bits)
+        raise ValueError(f"unknown provider: {provider!r}")
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: NodeId,
+        nat_type: NatType = NatType.OPEN,
+        port: int = 0,
+    ) -> WhisperNode:
+        """Bind a socket and assemble the full protocol stack for one node."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already hosted here")
+        self.network.open_endpoint(node_id, port)
+        node = WhisperNode(
+            node_id=node_id,
+            nat_type=nat_type,
+            sim=self.scheduler,  # duck-typed Clock
+            network=self.network,  # duck-typed fabric
+            provider=self.provider,
+            rng=self.registry.fork(f"node-{node_id}").stream("main"),
+            config=self.whisper,
+            telemetry=self.telemetry,
+        )
+        self.nodes[node_id] = node
+        return node
+
+    def descriptor(self, node_id: NodeId) -> NodeDescriptor:
+        """The hosted node's descriptor, shareable with other processes."""
+        return self.nodes[node_id].cm.descriptor()
+
+    @staticmethod
+    def remote_descriptor(node_id: NodeId, host: str, port: int) -> NodeDescriptor:
+        """Descriptor for a public node hosted by *another* process."""
+        return NodeDescriptor(
+            node_id=node_id,
+            kind=NodeKind.PUBLIC,
+            nat_type=NatType.OPEN,
+            public_endpoint=Endpoint(host, port),
+        )
+
+    def start(self, introducers: list[NodeDescriptor]) -> None:
+        for node in self.nodes.values():
+            own = [d for d in introducers if d.node_id != node.node_id]
+            node.start(own)
+
+    # ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        self.scheduler.run_for(seconds)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        return self.scheduler.run_until(predicate, timeout)
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                node.stop()
+        self.network.close()
+        # Give transports a loop tick to tear down cleanly, then close.
+        try:
+            self.scheduler.run_for(0)
+        except Exception:  # pragma: no cover - loop already closed
+            pass
+        self.scheduler.close()

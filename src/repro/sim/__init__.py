@@ -1,10 +1,13 @@
 """Discrete-event simulation substrate (replaces the paper's SPLAY deployment)."""
 
+from .clock import Cancellable, Clock
 from .engine import Event, SimulationError, Simulator
 from .process import PeriodicTask, Timer
 from .rng import RngRegistry
 
 __all__ = [
+    "Cancellable",
+    "Clock",
     "Event",
     "PeriodicTask",
     "RngRegistry",

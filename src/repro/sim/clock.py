@@ -1,0 +1,52 @@
+"""The clock/scheduler interface every protocol layer runs against.
+
+Historically the stack was written directly against :class:`~repro.sim.engine.Simulator`.
+To let the same, unmodified protocol code run both inside the discrete-event
+simulation and as a live OS process (``repro.runtime``), the subset of the
+simulator surface the protocols actually use is extracted here as a
+structural :class:`Clock` protocol:
+
+- ``now`` — the current time in seconds (simulated or wall-clock);
+- ``schedule(delay, callback)`` / ``schedule_at(time, callback)`` — run a
+  callback later, returning a cancellable handle.
+
+Two implementations exist:
+
+- :class:`repro.sim.engine.Simulator` — deterministic discrete-event clock;
+- :class:`repro.runtime.clock.AsyncioScheduler` — an asyncio event loop.
+
+Protocol layers (PSS, WCL, PPSS, traversal, backlog) annotate against
+``Clock`` and never import the engine for anything beyond this surface, so
+a node stack boots identically on either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["Cancellable", "Clock"]
+
+
+@runtime_checkable
+class Cancellable(Protocol):
+    """Handle for a scheduled callback: cancellation must be idempotent."""
+
+    cancelled: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The scheduling surface shared by the sim engine and live runtimes."""
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], priority: int = 0
+    ) -> Cancellable: ...
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], priority: int = 0
+    ) -> Cancellable: ...

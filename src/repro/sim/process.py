@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable
 
-from .engine import Event, Simulator
+from .clock import Cancellable, Clock
 
 __all__ = ["ExponentialBackoff", "PeriodicTask", "Timer"]
 
@@ -27,7 +27,7 @@ class PeriodicTask:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         period: float,
         callback: Callable[[], Any],
         initial_delay: float | None = None,
@@ -37,7 +37,7 @@ class PeriodicTask:
         self._sim = sim
         self._period = period
         self._callback = callback
-        self._event: Event | None = None
+        self._event: Cancellable | None = None
         self._stopped = False
         self._ticks = 0
         delay = period if initial_delay is None else initial_delay
@@ -121,10 +121,10 @@ class Timer:
     an armed timer cancels the previous deadline.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+    def __init__(self, sim: Clock, callback: Callable[[], Any]) -> None:
         self._sim = sim
         self._callback = callback
-        self._event: Event | None = None
+        self._event: Cancellable | None = None
 
     @property
     def armed(self) -> bool:

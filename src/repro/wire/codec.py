@@ -1,0 +1,343 @@
+"""Recursive tag-length-value codec for protocol payload values.
+
+Every value a WHISPER message may carry encodes to a deterministic byte
+string: a one-byte type tag followed by a type-specific body.  Scalars use
+varints (unbounded, zigzag for signed — RSA moduli are plain Python ints)
+or fixed-width floats; containers are count-prefixed and preserve
+insertion order, so ``encode(decode(encode(x))) == encode(x)`` holds
+byte-for-byte.  Domain dataclasses (descriptors, view entries, keys,
+sealed envelopes, onions, contacts, passports, election records) are
+*structs*: a registered numeric id plus a field count plus each field
+value in declaration order.  Enums carry a registered id and the member
+index.
+
+The struct/enum tables double as the schema registry: encoding an
+unregistered type raises :class:`WireEncodeError` immediately instead of
+silently pickling, which is what keeps the format stable and
+language-independent in principle.  Field counts are written per struct so
+a decoder can reject frames produced by a schema it does not know.
+
+Framing (magic, version, message kind, CRC) lives one level up in
+:mod:`repro.wire.registry`; this module also provides :func:`encode_blob`
+/ :func:`decode_blob`, a minimal CRC-checked container for out-of-band
+objects such as the invitation handed between the two ``live_chat``
+processes.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+import zlib
+from dataclasses import fields as _dc_fields
+from enum import Enum
+from typing import Any
+
+from ..core.contact import Gateway, PrivateContact
+from ..core.election import Heartbeat, Proposal
+from ..core.group import Accreditation, Invitation, Passport
+from ..core.onion import HopSpec, NextHop, OnionLayer, OnionPacket
+from ..core.ppss import PrivateViewEntry
+from ..crypto.provider import EncryptedPayload, PublicKey, Sealed
+from ..crypto.rsa import RsaPublicKey
+from ..nat.traversal import NodeDescriptor
+from ..nat.types import NatType
+from ..net.address import Endpoint, NodeKind, Protocol
+from ..pss.view import ViewEntry
+
+__all__ = [
+    "WireError",
+    "WireEncodeError",
+    "WireDecodeError",
+    "encode_value",
+    "decode_value",
+    "encode_blob",
+    "decode_blob",
+]
+
+
+class WireError(Exception):
+    """Base class for codec failures."""
+
+
+class WireEncodeError(WireError):
+    """A value cannot be represented in the wire format."""
+
+
+class WireDecodeError(WireError):
+    """Bytes do not form a valid wire value/frame."""
+
+
+# ---------------------------------------------------------------------------
+# type tags
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_BYTES = 0x05
+_T_STR = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_STRUCT = 0x0A
+_T_ENUM = 0x0B
+
+# Registered domain dataclasses.  Wire ids are part of the format: append
+# only, never renumber.  Fields are taken from dataclass declaration order.
+_STRUCT_TABLE: list[tuple[int, type]] = [
+    (1, Endpoint),
+    (2, NodeDescriptor),
+    (3, ViewEntry),
+    (4, PublicKey),
+    (5, RsaPublicKey),
+    (6, Sealed),
+    (7, EncryptedPayload),
+    (8, NextHop),
+    (9, OnionLayer),
+    (10, OnionPacket),
+    (11, HopSpec),
+    (12, Gateway),
+    (13, PrivateContact),
+    (14, PrivateViewEntry),
+    (15, Passport),
+    (16, Accreditation),
+    (17, Invitation),
+    (18, Heartbeat),
+    (19, Proposal),
+]
+
+_ENUM_TABLE: list[tuple[int, type]] = [
+    (1, NatType),
+    (2, NodeKind),
+    (3, Protocol),
+]
+
+_STRUCT_BY_TYPE: dict[type, tuple[int, tuple[str, ...]]] = {}
+_STRUCT_BY_ID: dict[int, tuple[type, tuple[str, ...]]] = {}
+for _sid, _cls in _STRUCT_TABLE:
+    _names = tuple(f.name for f in _dc_fields(_cls))
+    _STRUCT_BY_TYPE[_cls] = (_sid, _names)
+    _STRUCT_BY_ID[_sid] = (_cls, _names)
+
+_ENUM_BY_TYPE: dict[type, tuple[int, tuple[Any, ...]]] = {}
+_ENUM_BY_ID: dict[int, tuple[Any, ...]] = {}
+for _eid, _ecls in _ENUM_TABLE:
+    _members = tuple(_ecls)
+    _ENUM_BY_TYPE[_ecls] = (_eid, _members)
+    _ENUM_BY_ID[_eid] = _members
+
+
+# ---------------------------------------------------------------------------
+# varints
+
+def _write_uvarint(buf: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise WireDecodeError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# values
+
+def _encode_into(buf: bytearray, obj: Any) -> None:
+    if obj is None:
+        buf.append(_T_NONE)
+        return
+    kind = type(obj)
+    if kind is bool:
+        buf.append(_T_TRUE if obj else _T_FALSE)
+    elif kind is int:
+        buf.append(_T_INT)
+        _write_uvarint(buf, _zigzag(obj))
+    elif kind is float:
+        buf.append(_T_FLOAT)
+        buf += _struct.pack(">d", obj)
+    elif kind is bytes:
+        buf.append(_T_BYTES)
+        _write_uvarint(buf, len(obj))
+        buf += obj
+    elif kind is str:
+        raw = obj.encode("utf-8")
+        buf.append(_T_STR)
+        _write_uvarint(buf, len(raw))
+        buf += raw
+    elif kind is list:
+        buf.append(_T_LIST)
+        _write_uvarint(buf, len(obj))
+        for item in obj:
+            _encode_into(buf, item)
+    elif kind is tuple:
+        buf.append(_T_TUPLE)
+        _write_uvarint(buf, len(obj))
+        for item in obj:
+            _encode_into(buf, item)
+    elif kind is dict:
+        buf.append(_T_DICT)
+        _write_uvarint(buf, len(obj))
+        for key, value in obj.items():
+            _encode_into(buf, key)
+            _encode_into(buf, value)
+    elif kind in _STRUCT_BY_TYPE:
+        sid, names = _STRUCT_BY_TYPE[kind]
+        buf.append(_T_STRUCT)
+        _write_uvarint(buf, sid)
+        _write_uvarint(buf, len(names))
+        for name in names:
+            _encode_into(buf, getattr(obj, name))
+    elif kind in _ENUM_BY_TYPE:
+        eid, members = _ENUM_BY_TYPE[kind]
+        buf.append(_T_ENUM)
+        _write_uvarint(buf, eid)
+        _write_uvarint(buf, members.index(obj))
+    elif isinstance(obj, Enum):
+        raise WireEncodeError(f"unregistered enum type on the wire: {kind.__name__}")
+    else:
+        raise WireEncodeError(f"unregistered type on the wire: {kind.__name__}")
+
+
+def encode_value(obj: Any) -> bytes:
+    """Encode one payload value to TLV bytes (no frame header)."""
+    buf = bytearray()
+    _encode_into(buf, obj)
+    return bytes(buf)
+
+
+def _decode_at(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise WireDecodeError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        raw, pos = _read_uvarint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise WireDecodeError("truncated float")
+        return _struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _T_BYTES:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise WireDecodeError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag == _T_STR:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise WireDecodeError("truncated string")
+        try:
+            return data[pos : pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError("malformed utf-8 string") from exc
+    if tag in (_T_LIST, _T_TUPLE):
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), pos
+    if tag == _T_DICT:
+        count, pos = _read_uvarint(data, pos)
+        out: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_at(data, pos)
+            value, pos = _decode_at(data, pos)
+            out[key] = value
+        return out, pos
+    if tag == _T_STRUCT:
+        sid, pos = _read_uvarint(data, pos)
+        entry = _STRUCT_BY_ID.get(sid)
+        if entry is None:
+            raise WireDecodeError(f"unknown struct id {sid}")
+        cls, names = entry
+        count, pos = _read_uvarint(data, pos)
+        if count != len(names):
+            raise WireDecodeError(
+                f"struct {cls.__name__}: schema mismatch "
+                f"({count} fields on wire, {len(names)} known)"
+            )
+        values = {}
+        for name in names:
+            values[name], pos = _decode_at(data, pos)
+        try:
+            return cls(**values), pos
+        except (TypeError, ValueError) as exc:
+            raise WireDecodeError(f"struct {cls.__name__}: {exc}") from exc
+    if tag == _T_ENUM:
+        eid, pos = _read_uvarint(data, pos)
+        members = _ENUM_BY_ID.get(eid)
+        if members is None:
+            raise WireDecodeError(f"unknown enum id {eid}")
+        index, pos = _read_uvarint(data, pos)
+        if index >= len(members):
+            raise WireDecodeError(f"enum id {eid}: member index {index} out of range")
+        return members[index], pos
+    raise WireDecodeError(f"unknown type tag 0x{tag:02x}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode TLV bytes back to a payload value; rejects trailing bytes."""
+    obj, pos = _decode_at(data, 0)
+    if pos != len(data):
+        raise WireDecodeError(f"{len(data) - pos} trailing bytes after value")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# out-of-band blobs (invitations etc.)
+
+_BLOB_MAGIC = b"WB"
+_BLOB_VERSION = 1
+
+
+def encode_blob(obj: Any) -> bytes:
+    """Encode an out-of-band object (e.g. an Invitation) with CRC framing."""
+    body = encode_value(obj)
+    head = _BLOB_MAGIC + bytes([_BLOB_VERSION])
+    crc = zlib.crc32(head + body) & 0xFFFFFFFF
+    return head + body + crc.to_bytes(4, "big")
+
+
+def decode_blob(data: bytes) -> Any:
+    """Decode a blob produced by :func:`encode_blob`."""
+    if len(data) < 7 or data[:2] != _BLOB_MAGIC:
+        raise WireDecodeError("not a wire blob")
+    if data[2] != _BLOB_VERSION:
+        raise WireDecodeError(f"unsupported blob version {data[2]}")
+    body, trailer = data[3:-4], data[-4:]
+    crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if crc.to_bytes(4, "big") != trailer:
+        raise WireDecodeError("blob checksum mismatch")
+    return decode_value(body)

@@ -108,10 +108,35 @@ class TestWireSizes:
                 kind="x", payload=None, size_bytes=-1,
             )
 
-    def test_message_ids_unique(self):
+    def test_message_ids_are_per_network(self):
+        """A second World must not perturb msg ids in the first one's traces."""
+        from repro.harness.world import World, WorldConfig
+
+        def first_msg_id(world):
+            seen = []
+            original = world.network._deliver
+
+            def spy(src_node, message, category):
+                seen.append(message.msg_id)
+                original(src_node, message, category)
+
+            world.network._deliver = spy
+            world.populate(4)
+            world.start_all()
+            world.sim.run(until=5.0)
+            return seen[0]
+
+        solo = first_msg_id(World(WorldConfig(seed=11)))
+        # Interleave: a second network sends traffic before the first.
+        noisy = World(WorldConfig(seed=99))
+        noisy.populate(4)
+        noisy.start_all()
+        noisy.sim.run(until=5.0)
+        assert first_msg_id(World(WorldConfig(seed=11))) == solo
+
+    def test_message_id_defaults_to_unassigned(self):
         a = Message(Endpoint("pub-1", 1), Endpoint("pub-2", 1), "x", None, 0)
-        b = Message(Endpoint("pub-1", 1), Endpoint("pub-2", 1), "x", None, 0)
-        assert a.msg_id != b.msg_id
+        assert a.msg_id == -1
 
     def test_private_view_entry_matches_paper_20kb(self):
         """5 entries with Pi=3 gateways at 1 KB keys ~ 20 KB (Section V-E)."""

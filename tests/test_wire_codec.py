@@ -1,0 +1,184 @@
+"""Wire codec: round-trips, rejection paths, and the sim codec pass-through.
+
+Acceptance criteria pinned here:
+
+- every registered message kind round-trips encode -> decode -> encode
+  byte-identically, for both crypto providers, over many random payloads;
+- truncated or corrupted frames and foreign wire versions are rejected
+  with a clean ``WireDecodeError``;
+- same-seed sim runs with the codec-backed transport enabled export
+  byte-identical telemetry traces, and ``"verify"`` mode produces the
+  *same* trace as ``"off"`` (the codec is semantically invisible);
+- the registry's traffic categories stay inside the accountant's closed
+  category set.
+"""
+
+import random
+
+import pytest
+
+from repro import wire
+from repro.crypto.provider import RealCryptoProvider
+from repro.harness.world import World, WorldConfig
+from repro.net.bandwidth import KNOWN_CATEGORIES, BandwidthAccountant
+from repro.wire.samples import SampleContext, sample_kinds, sample_payload
+
+
+def _trace(config: WorldConfig) -> str:
+    world = World(config)
+    world.populate(16)
+    world.start_all()
+    leader = world.nodes[1].create_group("codec-check")
+    world.sim.run(until=30.0)
+    invitation = leader.invite()
+    world.nodes[5].join_group(invitation)
+    world.sim.run(until=120.0)
+    return world.telemetry.export_jsonl()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_every_kind_round_trips_byte_identically(self, seed):
+        ctx = SampleContext.fresh(seed=seed)
+        for kind in sample_kinds():
+            for _ in range(5):
+                payload = sample_payload(kind, ctx)
+                frame = wire.encode_message(kind, payload)
+                decoded = wire.decode_message(frame)
+                assert decoded.kind == kind
+                assert wire.encode_message(decoded.kind, decoded.payload) == frame
+
+    def test_round_trips_with_real_crypto_material(self):
+        provider = RealCryptoProvider(random.Random(11), key_bits=512)
+        ctx = SampleContext.fresh(seed=11, provider=provider)
+        for kind in sample_kinds():
+            payload = sample_payload(kind, ctx)
+            frame = wire.encode_message(kind, payload)
+            assert wire.encode_message(kind, wire.decode_message(frame).payload) == frame
+
+    def test_encoded_size_matches_frame_length(self):
+        ctx = SampleContext.fresh(seed=4)
+        payload = sample_payload("pss.request", ctx)
+        assert wire.encoded_size("pss.request", payload) == len(
+            wire.encode_message("pss.request", payload)
+        )
+
+    def test_value_codec_preserves_dict_insertion_order(self):
+        value = {"b": 1, "a": 2, "c": 3}
+        decoded = wire.decode_value(wire.encode_value(value))
+        assert list(decoded) == ["b", "a", "c"]
+
+    def test_value_codec_handles_huge_and_negative_ints(self):
+        for value in (0, -1, 1, -(2**521), 2**521 + 17):
+            assert wire.decode_value(wire.encode_value(value)) == value
+
+    def test_blob_round_trip(self):
+        ctx = SampleContext.fresh(seed=5)
+        payload = sample_payload("group.join", ctx)
+        assert wire.decode_blob(wire.encode_blob(payload)) == payload
+
+
+class TestRejection:
+    def _frame(self, seed=9):
+        ctx = SampleContext.fresh(seed=seed)
+        return wire.encode_message("pss.request", sample_payload("pss.request", ctx))
+
+    def test_every_truncation_is_rejected(self):
+        frame = self._frame()
+        for cut in range(len(frame)):
+            with pytest.raises(wire.WireDecodeError):
+                wire.decode_message(frame[:cut])
+
+    def test_garbage_bytes_rejected(self):
+        frame = bytearray(self._frame())
+        rng = random.Random(13)
+        for _ in range(50):
+            corrupted = bytearray(frame)
+            i = rng.randrange(len(corrupted))
+            corrupted[i] ^= 1 + rng.randrange(255)
+            with pytest.raises(wire.WireDecodeError):
+                wire.decode_message(bytes(corrupted))
+
+    def test_pure_noise_rejected(self):
+        rng = random.Random(17)
+        for length in (0, 1, 7, 8, 40, 200):
+            with pytest.raises(wire.WireDecodeError):
+                wire.decode_message(rng.randbytes(length))
+
+    def test_unknown_version_rejected_cleanly(self):
+        frame = bytearray(self._frame())
+        frame[2] = wire.WIRE_VERSION + 1
+        with pytest.raises(wire.WireDecodeError, match="version"):
+            wire.decode_message(bytes(frame))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_message(self._frame() + b"\x00")
+
+    def test_unregistered_kind_refused_at_encode(self):
+        with pytest.raises(wire.WireEncodeError):
+            wire.encode_message("nat.mystery", {"from": 1})
+
+    def test_schema_violation_refused_at_encode(self):
+        with pytest.raises(wire.WireEncodeError, match="missing"):
+            wire.encode_message("nat.pong", {"from": 1})  # no "observed"
+        with pytest.raises(wire.WireEncodeError, match="unknown"):
+            wire.encode_message("nat.ping", {"from": 1, "extra": 2})
+
+    def test_unregistered_python_type_refused(self):
+        with pytest.raises(wire.WireEncodeError, match="unregistered"):
+            wire.encode_value({1: object()})
+
+    def test_tampered_blob_rejected(self):
+        blob = bytearray(wire.encode_blob({"x": 1}))
+        blob[-1] ^= 0xFF
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_blob(bytes(blob))
+
+
+class TestCategories:
+    def test_registry_categories_are_known_to_the_accountant(self):
+        for kind in wire.registered_kinds():
+            assert wire.category_for(kind) in KNOWN_CATEGORIES, kind
+
+    def test_unknown_category_raises_at_record_time(self):
+        accountant = BandwidthAccountant()
+        with pytest.raises(ValueError, match="unknown traffic category"):
+            accountant.record(1, 2, 100, "mystery-bucket")
+
+    def test_registered_extra_category_accepted(self):
+        accountant = BandwidthAccountant()
+        accountant.register_category("experiment.extra")
+        accountant.record(1, 2, 100, "experiment.extra")
+        assert accountant.totals(1).up_bytes == 100
+
+
+class TestSimCodecPassThrough:
+    """The codec-backed sim transport preserves behaviour and determinism."""
+
+    def test_same_seed_traces_byte_identical_with_codec_enabled(self):
+        config = WorldConfig(seed=31, telemetry_enabled=True, wire_mode="measured")
+        assert _trace(config) == _trace(config)
+
+    def test_verify_mode_is_semantically_invisible(self):
+        """encode->decode on every send must not change any protocol decision."""
+        off = _trace(WorldConfig(seed=32, telemetry_enabled=True, wire_mode="off"))
+        verify = _trace(
+            WorldConfig(seed=32, telemetry_enabled=True, wire_mode="verify")
+        )
+        assert off == verify
+
+    def test_audit_collects_fabric_kinds(self):
+        world = World(WorldConfig(seed=33, wire_mode="measured"))
+        world.populate(12)
+        world.start_all()
+        world.sim.run(until=60.0)
+        audit = world.network.wire_audit
+        assert "nat.data" in audit.kinds
+        assert audit.total_measured > 0
+        for row in audit.table():
+            assert row["min_measured"] > 0
+
+    def test_bad_wire_mode_rejected(self):
+        with pytest.raises(ValueError):
+            World(WorldConfig(wire_mode="sideways"))
