@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from ..crypto.provider import PublicKey
 from ..nat.traversal import ConnectionManager, NodeDescriptor
-from ..net.address import NodeId
+from ..net.address import NodeId, NodeKind
 from ..net.message import sizes
 from ..pss.gossip import PeerSamplingService
 from ..sim.process import ExponentialBackoff, Timer
@@ -84,6 +84,10 @@ class ConnectionBacklog:
             )
         # Head = most recent.  OrderedDict keeps FIFO order with O(1) moves.
         self._entries: OrderedDict[NodeId, CbEntry] = OrderedDict()
+        # P-node count maintained incrementally by insert/_evict_tail/remove:
+        # the Π invariant consults it after every gossip exchange, and a
+        # full scan there was measurable at scale.
+        self._public_count = 0
         self._probing: dict[NodeId, _ProbeState] = {}
         self._probe_backoff = ExponentialBackoff(
             base=_PROBE_ACK_TIMEOUT, factor=2.0, cap=30.0, jitter=0.2, rng=rng
@@ -113,7 +117,7 @@ class ConnectionBacklog:
 
     def count_public(self) -> int:
         """Number of P-nodes currently in the backlog."""
-        return sum(1 for e in self._entries.values() if e.is_public)
+        return self._public_count
 
     def get(self, node_id: NodeId) -> CbEntry | None:
         """The entry for ``node_id`` if present."""
@@ -150,21 +154,28 @@ class ConnectionBacklog:
         node_id = descriptor.node_id
         if node_id == self.node_id:
             return
-        if node_id in self._entries:
-            del self._entries[node_id]
+        previous = self._entries.pop(node_id, None)
+        if previous is not None and previous.descriptor.kind is NodeKind.PUBLIC:
+            self._public_count -= 1
         self._entries[node_id] = CbEntry(descriptor=descriptor, key=key)
+        if descriptor.kind is NodeKind.PUBLIC:
+            self._public_count += 1
         while len(self._entries) > self.capacity:
             self._evict_tail()
         self._maintain_public_invariant()
 
     def remove(self, node_id: NodeId) -> None:
         """Drop a failed node (e.g. a mix that never forwarded)."""
-        self._entries.pop(node_id, None)
+        dropped = self._entries.pop(node_id, None)
+        if dropped is not None and dropped.descriptor.kind is NodeKind.PUBLIC:
+            self._public_count -= 1
         self._maintain_public_invariant()
 
     def _evict_tail(self) -> None:
         oldest = next(iter(self._entries))
-        del self._entries[oldest]
+        entry = self._entries.pop(oldest)
+        if entry.descriptor.kind is NodeKind.PUBLIC:
+            self._public_count -= 1
 
     # ------------------------------------------------------------------
     # the Π P-node invariant

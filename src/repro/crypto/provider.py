@@ -218,11 +218,11 @@ class RealCryptoProvider(CryptoProvider):
 
     def sign(self, keypair, obj, *, node=-1, context=""):
         self.accountant.rsa_sign(node, context)
-        return rsa.sign(keypair.secret, pickle.dumps(obj))
+        return rsa.sign(keypair.secret, _canonical(obj))
 
     def verify(self, public, obj, signature, *, node=-1, context=""):
         self.accountant.rsa_verify(node, context)
-        return rsa.verify(public.material, pickle.dumps(obj), signature)
+        return rsa.verify(public.material, _canonical(obj), signature)
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +243,10 @@ class SimCryptoProvider(CryptoProvider):
 
     def seal(self, public, obj, *, node=-1, context=""):
         self.accountant.rsa_encrypt(node, context)
-        self.accountant.aes(node, 256, context)
+        # Charge the CPU model for the bytes the real provider would bulk-
+        # encrypt (the serialized body), not a flat constant; ``size_bytes``
+        # keeps the paper's wire-size model for bandwidth accounting.
+        self.accountant.aes(node, len(_value_canonical(obj)), context)
         return Sealed(
             key_fingerprint=public.fingerprint,
             blob=obj,
@@ -254,15 +257,24 @@ class SimCryptoProvider(CryptoProvider):
         self.accountant.rsa_decrypt(node, context)
         if sealed.key_fingerprint != keypair.public.fingerprint:
             raise CryptoError("seal does not open: wrong key")
-        self.accountant.aes(node, sealed.size_bytes, context)
+        self.accountant.aes(node, len(_value_canonical(sealed.blob)), context)
         return sealed.blob
 
     def encrypt_payload(self, key, obj, size_hint, *, node=-1, context=""):
-        self.accountant.aes(node, size_hint, context)
-        return EncryptedPayload(blob=obj, auth=key, size_bytes=size_hint)
+        body = _value_canonical(obj)
+        self.accountant.aes(node, max(len(body), size_hint), context)
+        # The envelope must never carry key material: authenticate with a
+        # MAC over the canonical body, exactly like the real provider tags
+        # its ciphertext.  (An earlier revision stored the raw symmetric key
+        # as ``auth``, leaking it to anyone holding the envelope.)
+        return EncryptedPayload(
+            blob=obj, auth=tag(key, body), size_bytes=size_hint
+        )
 
     def decrypt_payload(self, key, enc, *, node=-1, context=""):
-        if enc.auth != key:
+        # Recompute the MAC under the presented key; a wrong key yields a
+        # different tag, preserving the CryptoError failure mode.
+        if not verify_tag(key, _value_canonical(enc.blob), enc.auth):
             raise CryptoError("payload key mismatch")
         self.accountant.aes(node, enc.size_bytes, context)
         return enc.blob
@@ -283,6 +295,55 @@ class SimCryptoProvider(CryptoProvider):
         )
 
 
+_CANONICAL_CACHE: dict[int, tuple[Any, bytes]] = {}
+_CANONICAL_CACHE_LIMIT = 1024
+_VALUE_CACHE: dict[int, tuple[Any, bytes]] = {}
+
+
+def _value_canonical(obj: Any) -> bytes:
+    """Value-based canonical encoding for the sim envelope MAC and charges.
+
+    Pickle is identity-sensitive: it memoizes shared references, so an
+    object that has been encode->decoded by the wire codec (which rebuilds
+    the tree without the original sharing) can pickle to different bytes
+    than the original even though the two are equal.  The MAC written at
+    ``encrypt_payload`` must verify after a wire round-trip, so the
+    canonical form is the wire codec's own deterministic value encoding;
+    pickle remains the fallback for objects the wire cannot carry (which
+    by definition never cross a codec boundary).  Memoized by identity,
+    sharing the signature cache's limit/eviction policy.
+    """
+    key = id(obj)
+    hit = _VALUE_CACHE.get(key)
+    if hit is not None and hit[0] is obj:
+        return hit[1]
+    from ..wire.codec import WireEncodeError, encode_value  # deferred: codec imports us
+
+    try:
+        data = encode_value(obj)
+    except WireEncodeError:
+        data = pickle.dumps(obj)
+    if len(_VALUE_CACHE) >= _CANONICAL_CACHE_LIMIT:
+        _VALUE_CACHE.clear()
+    _VALUE_CACHE[key] = (obj, data)
+    return data
+
+
 def _canonical(obj: Any) -> bytes:
-    """Stable encoding for simulated signatures."""
-    return pickle.dumps(obj)
+    """Stable canonical encoding (pickle) of a signed/authenticated object.
+
+    Signed objects are immutable descriptors that get signed once and
+    verified many times (every hop re-checks a passport), so the encoding is
+    memoized by object identity.  The cache holds a strong reference to the
+    object, which keeps its ``id`` from being reused while the entry lives;
+    the identity check guards against reuse after a wholesale clear.
+    """
+    key = id(obj)
+    hit = _CANONICAL_CACHE.get(key)
+    if hit is not None and hit[0] is obj:
+        return hit[1]
+    data = pickle.dumps(obj)
+    if len(_CANONICAL_CACHE) >= _CANONICAL_CACHE_LIMIT:
+        _CANONICAL_CACHE.clear()
+    _CANONICAL_CACHE[key] = (obj, data)
+    return data

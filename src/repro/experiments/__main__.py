@@ -23,6 +23,7 @@ from . import (
     fig8_group_bandwidth,
     fig9_tchord,
     resilience,
+    scale as scale_experiment,
     table1_churn,
     table2_cpu,
     wire_format,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "fig9": ("Fig. 9 — T-Chord routing delays", fig9_tchord.run),
     "wire": ("Wire format — codec throughput and measured sizes",
              wire_format.run),
+    "scale": ("Scale — 5,000-node PSS+WCL headroom", scale_experiment.run),
     "ablation-path": ("Ablation — path length", ablations.run_path_length),
     "ablation-pi": ("Ablation — Pi sweep", ablations.run_pi_sweep),
     "ablation-leases": ("Ablation — NAT leases", ablations.run_session_leases),

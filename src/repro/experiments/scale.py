@@ -1,0 +1,140 @@
+"""Scale — 5,000-node PSS+WCL headroom run.
+
+The paper's experiments top out at 1,000 cluster nodes; this experiment
+pushes the same stack to 5,000 nodes (at ``scale=1.0``) to demonstrate the
+simulator's headroom after the hot-path optimization pass.  The workload is
+two-phase: the biased PSS gossips until views converge, then a sample of
+natted pairs exchanges WCL messages through 2 mixes, exercising the NAT
+traversal, backlog and onion layers at population scale.
+
+Reported: view health (fill levels, P-node presence), WCL delivery for the
+sampled pairs, and fabric totals.  When driven by the perf harness
+(``python -m repro.perf run scale``) the optional ``probe`` records phase
+wall-clock, engine statistics and telemetry counter totals alongside.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.contact import Gateway, PrivateContact
+from ..core.node import WhisperConfig, WhisperNode
+from ..harness.report import Report, Table
+from ..harness.world import World, WorldConfig
+from ..net.address import NodeKind
+from .common import scaled
+
+if TYPE_CHECKING:
+    from ..perf.probe import PerfProbe
+
+__all__ = ["run"]
+
+
+def _contact_for(node: WhisperNode) -> PrivateContact:
+    gateways = ()
+    if node.cm.kind is NodeKind.NATTED:
+        gateways = tuple(
+            Gateway(descriptor=e.descriptor, key=e.key)
+            for e in node.backlog.gateways_for_self()
+        )
+    return PrivateContact(
+        descriptor=node.descriptor(), key=node.wcl.public_key, gateways=gateways
+    )
+
+
+@contextmanager
+def _phase(probe: "PerfProbe | None", name: str) -> Iterator[None]:
+    """Probe phase when measuring, no-op otherwise."""
+    with (probe.phase(name) if probe is not None else nullcontext()):
+        yield
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 1010,
+    cycles: int = 30,
+    messages: int = 40,
+    mixes: int = 2,
+    probe: "PerfProbe | None" = None,
+) -> Report:
+    n_nodes = scaled(5000, scale, minimum=200)
+    report = Report(title=f"Scale — {n_nodes}-node PSS+WCL headroom")
+    world = World(
+        WorldConfig(seed=seed, whisper=replace(WhisperConfig(), pi=2))
+    )
+    with _phase(probe, "scale.populate"):
+        world.populate(n_nodes)
+        world.start_all()
+    with _phase(probe, "scale.gossip"):
+        world.run(cycles * 10.0)
+
+    alive = world.alive_nodes()
+    view_sizes = [len(node.pss.view) for node in alive]
+    public_counts = [
+        sum(1 for e in node.pss.view.entries() if e.descriptor.is_public)
+        for node in alive
+    ]
+    health = Table(
+        title=f"View health after {cycles} cycles of 10 s",
+        headers=["nodes", "view min", "view mean", "pub min", "pub mean"],
+    )
+    health.add_row(
+        len(alive),
+        min(view_sizes),
+        round(sum(view_sizes) / len(view_sizes), 2),
+        min(public_counts),
+        round(sum(public_counts) / len(public_counts), 2),
+    )
+    report.add(health)
+
+    delivered: list[int] = []
+    sent = 0
+    with _phase(probe, "scale.wcl"):
+        natted = world.natted_nodes()
+        rng = world.registry.stream("scale-experiment")
+        for _ in range(messages):
+            src, dst = rng.sample(natted, 2)
+            dst.wcl.set_receive_upcall(
+                lambda content, size, d=dst: delivered.append(d.node_id)
+            )
+            if src.wcl.send_to(_contact_for(dst), "scale probe", 512, mixes=mixes):
+                sent += 1
+            world.run(2.0)
+        world.run(30.0)
+
+    stats = world.network.stats
+    wcl = Table(
+        title=f"WCL sample: {messages} messages through {mixes} mixes",
+        headers=["sent", "delivered", "rate", "net sent", "net delivered", "net lost"],
+    )
+    wcl.add_row(
+        sent,
+        len(delivered),
+        f"{len(delivered) / max(sent, 1):.1%}",
+        stats.sent,
+        stats.delivered,
+        stats.lost,
+    )
+    report.add(wcl)
+    report.note(
+        "Headroom run: same stack as the paper's 1,000-node deployments at "
+        "5x population; expect full views, a healthy P-node floor and "
+        "majority WCL delivery."
+    )
+    if probe is not None:
+        probe.attach_sim(world.sim)
+        probe.attach_telemetry(world.telemetry)
+        probe.record(
+            "net",
+            {
+                "sent": stats.sent,
+                "delivered": stats.delivered,
+                "lost": stats.lost,
+                "filtered": stats.filtered,
+                "no_handler": stats.no_handler,
+            },
+        )
+        probe.record("wcl", {"sent": sent, "delivered": len(delivered)})
+    return report

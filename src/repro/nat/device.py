@@ -40,6 +40,9 @@ class Mapping:
     contacted_endpoints: set[Endpoint] = field(default_factory=set)
     # For symmetric NATs the mapping is bound to exactly one remote.
     bound_remote: Endpoint | None = None
+    # The external endpoint remotes observe; fixed for the mapping's
+    # lifetime, cached so outbound translation need not rebuild it.
+    external: Endpoint | None = None
 
 
 class NatDevice:
@@ -92,6 +95,7 @@ class NatDevice:
             protocol=protocol,
             expires_at=now + self.lease(protocol),
             bound_remote=remote if self.nat_type.is_symmetric else None,
+            external=Endpoint(self.public_host, port),
         )
         self._by_port[(port, protocol)] = mapping
         if self.nat_type.is_symmetric:
@@ -120,7 +124,10 @@ class NatDevice:
         mapping.expires_at = now + self.lease(protocol)
         mapping.contacted_hosts.add(remote.host)
         mapping.contacted_endpoints.add(remote)
-        return Endpoint(self.public_host, mapping.external_port)
+        external = mapping.external
+        if external is None:  # mapping predates the cache (restored state)
+            external = mapping.external = Endpoint(self.public_host, mapping.external_port)
+        return external
 
     def inbound(
         self, external_port: int, source: Endpoint, protocol: Protocol, now: float

@@ -140,13 +140,33 @@ class NatTopology:
             assignment.local_endpoint, remote, protocol, now
         )
 
+    def outbound_for(
+        self, node_id: NodeId, remote: Endpoint, protocol: Protocol, now: float
+    ) -> Endpoint | None:
+        """``translate_outbound`` with the existence check folded in.
+
+        Returns ``None`` for unknown (departed) senders — the fabric's
+        per-send hot path, which would otherwise pay ``knows()`` plus
+        ``translate_outbound()`` as two assignment-table lookups.
+        """
+        assignment = self._assignments.get(node_id)
+        if assignment is None:
+            return None
+        if assignment.device is None:
+            return assignment.local_endpoint
+        return assignment.device.outbound(
+            assignment.local_endpoint, remote, protocol, now
+        )
+
     def resolve_inbound(
         self, dst: Endpoint, source: Endpoint, protocol: Protocol, now: float
     ) -> NodeId | None:
         """Owner node of ``dst``, after NAT filtering; ``None`` if dropped."""
-        if dst.host in self._public_owner:
-            return self._public_owner[dst.host]
-        owner = self._nat_owner.get(dst.host)
+        host = dst.host
+        owner = self._public_owner.get(host)
+        if owner is not None:
+            return owner
+        owner = self._nat_owner.get(host)
         if owner is None:
             return None  # destination departed
         device = self._assignments[owner].device

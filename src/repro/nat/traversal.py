@@ -34,7 +34,7 @@ with NAT association leases; stale sessions surface as timeouts that callers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..net.address import Endpoint, NodeId, NodeKind, Protocol
@@ -80,9 +80,18 @@ class NodeDescriptor:
 
     def via(self, forwarder: NodeId) -> "NodeDescriptor":
         """Descriptor as handed to a gossip partner: ``forwarder`` prepended."""
-        if self.is_public:
+        if self.kind is NodeKind.PUBLIC:
             return self
-        return replace(self, route=(forwarder, *self.route))
+        # Direct construction: dataclasses.replace() re-derives every field
+        # through the dataclass machinery, and this runs for each shipped
+        # entry of every gossip exchange.
+        return NodeDescriptor(
+            self.node_id,
+            self.kind,
+            self.nat_type,
+            self.public_endpoint,
+            (forwarder, *self.route),
+        )
 
     def route_too_long(self) -> bool:
         return len(self.route) > MAX_ROUTE_LENGTH
@@ -183,6 +192,7 @@ class ConnectionManager:
         self._sessions: dict[NodeId, Session] = {}
         self._pending: dict[NodeId, _PendingConnect] = {}
         self._reflexive: Endpoint | None = None
+        self._descriptor_cache: NodeDescriptor | None = None
         # Upcall for application payloads arriving over sessions:
         # (peer_id, kind, payload, size).
         self._deliver_upcall = deliver_upcall
@@ -205,16 +215,26 @@ class ConnectionManager:
         return NodeKind.NATTED if self.nat_type.is_natted else NodeKind.PUBLIC
 
     def descriptor(self) -> NodeDescriptor:
-        """Self-descriptor, as inserted in gossip exchanges (empty route)."""
+        """Self-descriptor, as inserted in gossip exchanges (empty route).
+
+        Cached: node id, kind, NAT type and the registered public endpoint
+        are all fixed for the node's lifetime, and gossip asks for this
+        every exchange.
+        """
+        cached = self._descriptor_cache
+        if cached is not None:
+            return cached
         endpoint = None
         if self.kind is NodeKind.PUBLIC:
             endpoint = self._net.topology.public_endpoint(self.node_id)
-        return NodeDescriptor(
+        cached = NodeDescriptor(
             node_id=self.node_id,
             kind=self.kind,
             nat_type=self.nat_type,
             public_endpoint=endpoint,
         )
+        self._descriptor_cache = cached
+        return cached
 
     def set_deliver_upcall(
         self, upcall: Callable[[NodeId, str, object, int], None]
@@ -234,7 +254,15 @@ class ConnectionManager:
         return True
 
     def session(self, peer: NodeId) -> Session | None:
-        return self._sessions.get(peer) if self.has_session(peer) else None
+        # Single dict lookup with inline lease expiry (has_session + get
+        # would look the peer up twice on the hottest call site).
+        session = self._sessions.get(peer)
+        if session is None:
+            return None
+        if self._sim.now - session.last_used > self.policy.session_lifetime:
+            del self._sessions[peer]
+            return None
+        return session
 
     def sessions(self) -> list[Session]:
         # has_session evicts expired entries, so iterate over a snapshot.
@@ -431,20 +459,30 @@ class ConnectionManager:
         relaying for each other after churn — fail the send instead of
         recursing forever.
         """
-        visited: set[NodeId] = set()
+        sessions = self._sessions
+        lifetime = self.policy.session_lifetime
+        now = self._sim.now
+        visited: set[NodeId] | None = None  # allocated only when relaying
         current = peer
         while True:
-            session = self.session(current)
+            # Inline session() — single dict get + lease expiry — because
+            # this loop runs once per session-borne packet.
+            session = sessions.get(current)
             if session is None:
                 return False
-            session.last_used = self._sim.now
-            if not session.is_relayed:
+            if now - session.last_used > lifetime:
+                del sessions[current]
+                return False
+            session.last_used = now
+            chain = session.relay_chain
+            if chain is None:
                 break
-            if current in visited or len(visited) >= 4:
+            if visited is None:
+                visited = set()
+            elif current in visited or len(visited) >= 4:
                 return False
             visited.add(current)
-            chain = session.relay_chain
-            assert chain is not None and chain
+            assert chain
             payload = {
                 "target": current,
                 "chain": list(chain[1:]),
@@ -457,12 +495,14 @@ class ConnectionManager:
             size = size + sizes.connect_control
             current = chain[0]
         assert session.remote_endpoint is not None
-        self._send_raw(
+        self._net.send(
+            self.node_id,
             session.remote_endpoint,
             "nat.data",
             {"from": self.node_id, "kind": kind, "payload": payload, "inner_size": size},
             size,
-            category,
+            protocol=self.policy.protocol,
+            category=category,
         )
         return True
 
@@ -497,13 +537,22 @@ class ConnectionManager:
     def _on_data(self, message: Message) -> None:
         body = message.payload
         peer = body["from"]
+        now = self._sim.now
         # Refresh (or adopt) the reverse session: the observed source endpoint
         # is where replies reach the peer through its NAT.
         session = self._sessions.get(peer)
-        if session is None or not session.is_relayed:
+        if session is None:
             session = self._install_session(peer, message.src, relay=None)
-        session.last_used = self._sim.now
-        self._note_alive(peer)
+        elif session.relay_chain is None:
+            # Refresh in place — equivalent to reinstalling the direct
+            # session, without allocating a new Session per inbound message.
+            session.remote_endpoint = message.src
+            session.established_at = now
+        # Inbound traffic is liveness evidence (what _note_alive records),
+        # folded in here to avoid a second session-table lookup.
+        session.last_used = now
+        session.last_seen = now
+        session.missed_probes = 0
         kind = body["kind"]
         if kind.startswith("nat."):
             self._dispatch_internal(kind, body["payload"])

@@ -78,10 +78,24 @@ class BandwidthAccountant:
                 f"unknown traffic category {category!r}; add it to "
                 "KNOWN_CATEGORIES or register_category() before recording"
             )
-        self._totals[src].record_up(size, category)
-        self._totals[dst].record_down(size, category)
-        self._window[src].record_up(size, category)
-        self._window[dst].record_down(size, category)
+        # Hot path (twice per delivered message): update the totals inline
+        # rather than through record_up/record_down calls.  Node id -1 is
+        # the infrastructure pseudo-node (relay hops, NAT boxes); no figure
+        # or experiment reads its totals, so skip the bookkeeping for it.
+        if src != -1:
+            totals = self._totals[src]
+            totals.up_bytes += size
+            totals.up_by_category[category] += size
+            window = self._window[src]
+            window.up_bytes += size
+            window.up_by_category[category] += size
+        if dst != -1:
+            totals = self._totals[dst]
+            totals.down_bytes += size
+            totals.down_by_category[category] += size
+            window = self._window[dst]
+            window.down_bytes += size
+            window.down_by_category[category] += size
 
     def totals(self, node: NodeId) -> TrafficTotals:
         """Lifetime totals for ``node`` (zeros if it never sent/received)."""

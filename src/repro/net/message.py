@@ -16,7 +16,6 @@ from .address import Endpoint, Protocol
 __all__ = ["Message", "sizes", "WireSizes"]
 
 
-@dataclass(slots=True)
 class Message:
     """A packet in flight.
 
@@ -30,19 +29,53 @@ class Message:
     independent sequences, so creating a second World can never perturb
     the ids that appear in the first one's trace exports.  ``-1`` marks a
     message constructed outside any fabric (unit tests, observers).
+
+    A plain ``__slots__`` class rather than a dataclass: one Message is
+    constructed per delivered packet, and the generated dataclass
+    ``__init__`` + ``__post_init__`` dispatch showed up in profiles.
     """
 
-    src: Endpoint
-    dst: Endpoint
-    kind: str
-    payload: Any
-    size_bytes: int
-    protocol: Protocol = Protocol.UDP
-    msg_id: int = -1
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "protocol", "msg_id")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes < 0:
-            raise ValueError(f"negative message size: {self.size_bytes}")
+    def __init__(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        protocol: Protocol = Protocol.UDP,
+        msg_id: int = -1,
+    ) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes}")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.protocol = protocol
+        self.msg_id = msg_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, size_bytes={self.size_bytes!r}, "
+            f"protocol={self.protocol!r}, msg_id={self.msg_id!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.size_bytes == other.size_bytes
+            and self.protocol == other.protocol
+            and self.msg_id == other.msg_id
+        )
 
 
 @dataclass(frozen=True)

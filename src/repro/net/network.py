@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import zlib
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
 from ..sim.engine import Simulator
@@ -89,6 +90,9 @@ class Network:
         # same process draws from its own sequence, keeping trace exports
         # independent of unrelated activity.
         self._msg_ids = itertools.count()
+        # host -> owner id; hosts are stable for a node's lifetime, so this
+        # memoizes the parse/crc32 in _owner_hint (bounded by host count).
+        self._owner_hints: dict[str, NodeId] = {}
         self.wire_audit = None
         self._wire = None  # lazily-imported repro.wire module
         self.set_wire_mode(wire_mode)
@@ -168,8 +172,9 @@ class Network:
         receiving an onion and its delayed forward) is dropped silently: the
         dead process cannot emit packets.
         """
-        now = self._sim.now
-        if not self._topology.knows(src_node):
+        sim = self._sim
+        visible_src = self._topology.outbound_for(src_node, dst, protocol, sim.now)
+        if visible_src is None:  # sender already departed
             self.stats.filtered += 1
             return
         if self._wire_mode != "off":
@@ -181,7 +186,6 @@ class Network:
             payload = self._wire.decode_message(frame).payload
             if self._wire_mode == "measured":
                 size_bytes = len(frame)
-        visible_src = self._topology.translate_outbound(src_node, dst, protocol, now)
         self.stats.sent += 1
         self.accountant.record(src_node, -1, size_bytes, category)  # upload side
         tel = self.telemetry
@@ -189,7 +193,9 @@ class Network:
             tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
             tel.counter("net.up_bytes", node=src_node, layer="net").inc(size_bytes)
             tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
-        hint = self._owner_hint(dst)
+        hint = self._owner_hints.get(dst.host)
+        if hint is None:  # cold path: first message towards this host
+            hint = self._owner_hint(dst)
         if self._fault_hook is not None:
             reason = self._fault_hook.on_send(src_node, hint)
             if reason is not None:
@@ -199,23 +205,19 @@ class Network:
                     src_node, None, visible_src, dst, kind, payload, size_bytes
                 )
                 return
-        if self._latency.is_lost(src_node, hint):
+        latency = self._latency
+        if latency.is_lost(src_node, hint):
             self.stats.lost += 1
             tel.counter("net.lost", layer="net").inc()
             self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
             return
-        delay = self._latency.delay(src_node, hint, size_bytes)
         message = Message(
-            src=visible_src,
-            dst=dst,
-            kind=kind,
-            payload=payload,
-            size_bytes=size_bytes,
-            protocol=protocol,
-            msg_id=next(self._msg_ids),
+            visible_src, dst, kind, payload, size_bytes, protocol,
+            next(self._msg_ids),
         )
-        self._sim.schedule(
-            delay, lambda: self._deliver(src_node, message, category)
+        sim.schedule(
+            latency.delay(src_node, hint, size_bytes),
+            partial(self._deliver, src_node, message, category),
         )
 
     def _deliver(self, src_node: NodeId, message: Message, category: str) -> None:
@@ -281,12 +283,19 @@ class Network:
         guarantee — so we use crc32.
         """
         host = dst.host
+        hint = self._owner_hints.get(host)
+        if hint is not None:
+            return hint
+        hint = -1
         if host.startswith(("pub-", "nat-", "priv-")):
             try:
-                return int(host.split("-", 1)[1])
+                hint = int(host.split("-", 1)[1])
             except ValueError:
-                pass
-        return zlib.crc32(host.encode()) & 0x7FFFFFFF
+                hint = -1
+        if hint < 0:
+            hint = zlib.crc32(host.encode()) & 0x7FFFFFFF
+        self._owner_hints[host] = hint
+        return hint
 
     def _observe(
         self,

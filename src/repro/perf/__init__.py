@@ -1,0 +1,42 @@
+"""Performance regression subsystem.
+
+The WHISPER reproduction targets millions-of-users scale, which makes the
+wall-clock cost of every subsystem a first-class, *recorded* quantity.  This
+package provides:
+
+- :class:`~.probe.PerfProbe` — a harness that wraps any experiment or
+  benchmark run and samples events/sec, wall-clock per phase, peak RSS,
+  allocation counts (``tracemalloc`` windows) and the run's telemetry
+  counters, emitting a deterministic-schema JSON document;
+- :mod:`.bench` — the registry of named probe-instrumented benchmarks
+  (``scale1k`` is the canonical one: the Fig. 5 1,000-node PSS workload);
+- :mod:`.compare` — the regression gate: ``python -m repro.perf compare
+  old.json new.json --budget 10%`` exits non-zero when the new measurement
+  regresses beyond the budget, and is wired into CI against the committed
+  baseline (``BENCH_scale.json`` at the repository root).
+
+The JSON schema separates *deterministic* content (workload config, event
+counts, sim time, telemetry counter totals — byte-identical across
+same-seed runs) from the environment-dependent ``timing`` section and the
+``timestamp`` field, so traces double as regression substrate: see
+:func:`~.probe.deterministic_view`.
+"""
+
+from __future__ import annotations
+
+from .bench import BENCHES, run_bench
+from .compare import CompareResult, compare_documents, compare_files, parse_budget
+from .probe import PerfProbe, PerfResult, deterministic_view, load_result
+
+__all__ = [
+    "BENCHES",
+    "CompareResult",
+    "PerfProbe",
+    "PerfResult",
+    "compare_documents",
+    "compare_files",
+    "deterministic_view",
+    "load_result",
+    "parse_budget",
+    "run_bench",
+]

@@ -1,0 +1,104 @@
+"""Command-line entry points for the perf subsystem.
+
+Usage::
+
+    python -m repro.perf run scale1k --scale 1.0 --out benchmarks/results/BENCH_scale1k.json
+    python -m repro.perf run scale1k --trajectory          # also writes BENCH_scale.json
+    python -m repro.perf compare BENCH_scale.json new.json --budget 10%
+    python -m repro.perf list
+
+``compare`` exits 0 when the new measurement is within budget, 1 on a
+regression (or, with ``--strict``, on deterministic drift), 2 on usage
+errors — so it slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import BENCHES, CANONICAL_BENCH, TRAJECTORY_FILE, run_bench
+from .compare import compare_files, parse_budget
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Record and gate WHISPER performance measurements.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a named benchmark under PerfProbe")
+    run_parser.add_argument("bench", choices=sorted(BENCHES))
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="population scale; 1.0 = paper size")
+    run_parser.add_argument("--seed", type=int, default=None)
+    run_parser.add_argument("--out", default=None,
+                            help="result path (default benchmarks/results/BENCH_<name>.json)")
+    run_parser.add_argument("--label", default="",
+                            help="free-form label recorded in the timing section")
+    run_parser.add_argument("--alloc", action="store_true",
+                            help="sample tracemalloc allocation windows (slows the run)")
+    run_parser.add_argument("--trajectory", action="store_true",
+                            help=f"also write {TRAJECTORY_FILE} at the repo root "
+                                 f"(default for the canonical '{CANONICAL_BENCH}' bench "
+                                 "at scale 1.0)")
+
+    cmp_parser = sub.add_parser("compare", help="gate a new measurement against a baseline")
+    cmp_parser.add_argument("old", help="baseline result JSON")
+    cmp_parser.add_argument("new", help="candidate result JSON")
+    cmp_parser.add_argument("--budget", default="10%",
+                            help="allowed wall-clock/throughput regression (e.g. 10%%)")
+    cmp_parser.add_argument("--strict", action="store_true",
+                            help="also fail on deterministic drift (same-config runs)")
+
+    sub.add_parser("list", help="enumerate the known benchmarks")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(BENCHES):
+            marker = " (canonical)" if name == CANONICAL_BENCH else ""
+            print(f"{name}{marker}")
+        return 0
+
+    if args.command == "run":
+        kwargs = {"scale": args.scale, "alloc": args.alloc, "label": args.label}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = run_bench(args.bench, **kwargs)
+        out = args.out or f"benchmarks/results/BENCH_{args.bench}.json"
+        result.write(out)
+        print(f"wrote {out}")
+        if args.trajectory or (
+            args.bench == CANONICAL_BENCH and args.scale == 1.0 and args.out is None
+        ):
+            result.write(TRAJECTORY_FILE)
+            print(f"wrote {TRAJECTORY_FILE}")
+        timing = result.document["timing"]
+        sim = result.document["sim"]
+        print(
+            f"{args.bench}: {sim.get('events', 0)} events in "
+            f"{timing['wall_s']:.2f}s -> {timing['events_per_sec']:.0f} events/sec"
+        )
+        return 0
+
+    if args.command == "compare":
+        try:
+            budget = parse_budget(args.budget)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            outcome = compare_files(args.old, args.new, budget)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(outcome.render(strict=args.strict))
+        return 0 if outcome.ok(strict=args.strict) else 1
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

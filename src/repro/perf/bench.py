@@ -1,0 +1,129 @@
+"""Named, probe-instrumented benchmarks (the bench trajectory's workloads).
+
+Each entry builds a deterministic workload, runs it under a
+:class:`~.probe.PerfProbe` with named phases, and returns the
+:class:`~.probe.PerfResult`:
+
+- ``scale1k`` — the canonical throughput benchmark: the Fig. 5 workload at
+  paper scale (1,000 nodes, 70% natted, Pi=2) gossiping for ``cycles``
+  PSS cycles.  Its result is the repository-root ``BENCH_scale.json``.
+- ``fig5`` — the full Fig. 5 campaign (four Pi values, 120 cycles) under
+  one probe; the heavyweight regeneration cost.
+- ``scale`` — the 5,000-node PSS+WCL headroom experiment
+  (:mod:`repro.experiments.scale`).
+
+``scale`` here is the usual population multiplier: ``run_bench("scale1k",
+scale=0.2)`` runs a 200-node variant for smoke tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from ..core.node import WhisperConfig
+from ..experiments.common import scaled
+from ..harness.world import World, WorldConfig
+from .probe import PerfProbe, PerfResult
+
+__all__ = ["BENCHES", "run_bench", "CANONICAL_BENCH", "TRAJECTORY_FILE"]
+
+CANONICAL_BENCH = "scale1k"
+TRAJECTORY_FILE = "BENCH_scale.json"
+
+
+def _net_stats(world: World) -> dict[str, int]:
+    stats = world.network.stats
+    return {
+        "sent": stats.sent,
+        "delivered": stats.delivered,
+        "lost": stats.lost,
+        "filtered": stats.filtered,
+        "no_handler": stats.no_handler,
+    }
+
+
+def run_scale1k(
+    scale: float = 1.0,
+    seed: int = 1005,
+    alloc: bool = False,
+    label: str = "",
+    cycles: int = 30,
+    pi: int = 2,
+) -> PerfResult:
+    """Fig. 5's 1,000-node PSS workload, measured for throughput."""
+    n_nodes = scaled(1000, scale, minimum=100)
+    probe = PerfProbe(
+        CANONICAL_BENCH,
+        config={
+            "nodes": n_nodes, "cycles": cycles, "seed": seed,
+            "pi": pi, "natted_fraction": 0.7, "scale": scale,
+        },
+        alloc=alloc,
+        label=label,
+    )
+    world = World(
+        WorldConfig(seed=seed, whisper=replace(WhisperConfig(), pi=pi))
+    )
+    with probe.phase("populate"):
+        world.populate(n_nodes)
+        world.start_all()
+    with probe.phase("gossip"):
+        world.run(cycles * 10.0)
+    probe.attach_sim(world.sim)
+    probe.attach_telemetry(world.telemetry)
+    probe.record("net", _net_stats(world))
+    return probe.finish()
+
+
+def run_fig5(
+    scale: float = 1.0, seed: int = 1005, alloc: bool = False, label: str = ""
+) -> PerfResult:
+    """The full Fig. 5 campaign (4 Pi values) under one probe."""
+    from ..experiments import fig5_biased_pss
+
+    probe = PerfProbe(
+        "fig5",
+        config={"scale": scale, "seed": seed},
+        alloc=alloc,
+        label=label,
+    )
+    with probe.phase("campaign"):
+        report = fig5_biased_pss.run(scale=scale, seed=seed)
+    probe.record("sections", len(report.sections))
+    return probe.finish()
+
+
+def run_scale_experiment(
+    scale: float = 1.0, seed: int = 1010, alloc: bool = False, label: str = ""
+) -> PerfResult:
+    """The 5,000-node PSS+WCL headroom experiment under a probe."""
+    from ..experiments import scale as scale_experiment
+
+    probe = PerfProbe(
+        "scale",
+        config={"scale": scale, "seed": seed},
+        alloc=alloc,
+        label=label,
+    )
+    with probe.phase("experiment"):
+        report = scale_experiment.run(scale=scale, seed=seed, probe=probe)
+    probe.record("sections", len(report.sections))
+    return probe.finish()
+
+
+BENCHES: dict[str, Callable[..., PerfResult]] = {
+    "scale1k": run_scale1k,
+    "fig5": run_fig5,
+    "scale": run_scale_experiment,
+}
+
+
+def run_bench(name: str, **kwargs: Any) -> PerfResult:
+    """Run one named benchmark; unknown names raise ``KeyError``."""
+    try:
+        bench = BENCHES[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHES))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return bench(**kwargs)

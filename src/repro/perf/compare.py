@@ -1,0 +1,155 @@
+"""The regression gate: compare two perf documents against a budget.
+
+``python -m repro.perf compare old.json new.json --budget 10%`` loads two
+:mod:`.probe` documents and fails (exit code 1) when the new run regresses
+beyond the budget on any gated metric:
+
+- ``events_per_sec`` — lower is a regression (throughput);
+- ``wall_s`` — higher is a regression (total wall clock).
+
+Deterministic drift (a different event count or counter total for the same
+workload config) is *reported* but only fails under ``--strict`` — across
+PRs the deterministic content legitimately changes whenever protocol
+behaviour changes, whereas within one PR the same-seed identity tests pin
+it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .probe import PerfResult, deterministic_view, load_result
+
+__all__ = ["CompareResult", "compare_documents", "compare_files", "parse_budget"]
+
+GATED_METRICS = ("events_per_sec", "wall_s")
+_HIGHER_IS_BETTER = {"events_per_sec": True, "wall_s": False}
+
+
+def parse_budget(text: str) -> float:
+    """Parse a budget: ``"10%"`` -> 0.10, ``"0.1"`` -> 0.1."""
+    raw = text.strip()
+    if raw.endswith("%"):
+        value = float(raw[:-1]) / 100.0
+    else:
+        value = float(raw)
+    if not 0.0 <= value < 10.0:
+        raise ValueError(f"budget out of range: {text!r}")
+    return value
+
+
+@dataclass
+class MetricDelta:
+    metric: str
+    old: float
+    new: float
+    ratio: float  # new / old
+    regressed: bool
+
+    def describe(self) -> str:
+        direction = "+" if self.ratio >= 1.0 else ""
+        pct = (self.ratio - 1.0) * 100.0
+        status = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.metric:<16} {self.old:>14.3f} -> {self.new:>14.3f}  "
+            f"({direction}{pct:.1f}%)  {status}"
+        )
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one comparison; ``ok`` is the gate verdict."""
+
+    budget: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    drift: list[str] = field(default_factory=list)  # deterministic differences
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.regressions:
+            return False
+        if strict and self.drift:
+            return False
+        return True
+
+    def render(self, strict: bool = False) -> str:
+        lines = [f"perf compare (budget {self.budget * 100:.1f}%)"]
+        lines += ["  " + d.describe() for d in self.deltas]
+        for entry in self.drift:
+            marker = "DRIFT (strict)" if strict else "drift"
+            lines.append(f"  {marker}: {entry}")
+        lines += ["  " + note for note in self.notes]
+        verdict = "PASS" if self.ok(strict) else "FAIL"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def compare_documents(
+    old: dict[str, Any], new: dict[str, Any], budget: float = 0.10
+) -> CompareResult:
+    """Gate ``new`` against ``old`` with a fractional ``budget``."""
+    result = CompareResult(budget=budget)
+    if old.get("name") != new.get("name"):
+        result.notes.append(
+            f"note: comparing different benchmarks "
+            f"({old.get('name')!r} vs {new.get('name')!r})"
+        )
+    old_timing = old.get("timing", {})
+    new_timing = new.get("timing", {})
+    for metric in GATED_METRICS:
+        old_value = old_timing.get(metric)
+        new_value = new_timing.get(metric)
+        if not old_value or new_value is None:
+            result.notes.append(f"note: metric {metric!r} missing; skipped")
+            continue
+        ratio = new_value / old_value
+        if _HIGHER_IS_BETTER[metric]:
+            regressed = ratio < 1.0 - budget
+        else:
+            regressed = ratio > 1.0 + budget
+        result.deltas.append(
+            MetricDelta(
+                metric=metric, old=old_value, new=new_value,
+                ratio=ratio, regressed=regressed,
+            )
+        )
+    result.drift.extend(_deterministic_drift(old, new))
+    return result
+
+
+def compare_files(
+    old_path: str, new_path: str, budget: float = 0.10
+) -> CompareResult:
+    return compare_documents(
+        load_result(old_path).document, load_result(new_path).document, budget
+    )
+
+
+def _deterministic_drift(old: dict[str, Any], new: dict[str, Any]) -> list[str]:
+    """Human-readable differences in the deterministic document parts."""
+    out: list[str] = []
+    old_det, new_det = deterministic_view(old), deterministic_view(new)
+    if old_det.get("config") != new_det.get("config"):
+        out.append(f"config: {old_det.get('config')} != {new_det.get('config')}")
+        return out  # different workloads: finer-grained drift is meaningless
+    for section in ("sim", "counters"):
+        old_section = old_det.get(section, {}) or {}
+        new_section = new_det.get(section, {}) or {}
+        for key in sorted(set(old_section) | set(new_section)):
+            old_value = old_section.get(key)
+            new_value = new_section.get(key)
+            if old_value != new_value:
+                out.append(f"{section}.{key}: {old_value} != {new_value}")
+    return out
+
+
+def result_delta(old: PerfResult, new: PerfResult) -> float:
+    """Convenience: throughput ratio new/old (0 when not measurable)."""
+    if not old.events_per_sec:
+        return 0.0
+    return new.events_per_sec / old.events_per_sec

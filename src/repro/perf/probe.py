@@ -1,0 +1,263 @@
+"""The :class:`PerfProbe` harness: measure a run, emit a schema'd document.
+
+A probe wraps one benchmark/experiment execution::
+
+    probe = PerfProbe("scale1k", config={"nodes": 1000, "seed": 1005})
+    with probe.phase("populate"):
+        world.populate(1000); world.start_all()
+    with probe.phase("gossip"):
+        world.run(300.0)
+    probe.attach_sim(world.sim)
+    probe.attach_telemetry(world.telemetry)
+    result = probe.finish()
+    result.write("benchmarks/results/BENCH_scale1k.json")
+
+The emitted document has a fixed schema (``SCHEMA_VERSION``) split in two:
+
+- **deterministic** content — ``name``, ``config``, ``sim`` (events fired,
+  sim time, final queue depth), ``counters`` (telemetry counter totals by
+  name) and anything recorded via :meth:`PerfProbe.record`.  Two same-seed
+  runs produce byte-identical deterministic content, which the test suite
+  asserts.
+- **environment-dependent** content — the ``timestamp`` field and the
+  ``timing`` section (wall clock per phase and total, events/sec, peak RSS,
+  optional ``tracemalloc`` allocation windows, interpreter/platform info,
+  free-form ``label``).  This is what the regression gate budgets.
+
+``tracemalloc`` windows are opt-in (``PerfProbe(alloc=True)``) because
+tracing allocations slows the measured code by 2-4x; enable them for
+allocation hunts, not for recording throughput baselines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:
+    from ..sim.engine import Simulator
+    from ..telemetry import Telemetry
+
+__all__ = [
+    "PerfProbe",
+    "PerfResult",
+    "SCHEMA_VERSION",
+    "deterministic_view",
+    "load_result",
+]
+
+SCHEMA_VERSION = 1
+
+_NONDETERMINISTIC_KEYS = ("timestamp", "timing")
+"""Top-level keys excluded from the deterministic identity of a document."""
+
+
+def _peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KB (None if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB; macOS reports bytes.
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class _Phase:
+    name: str
+    wall_s: float = 0.0
+    alloc_peak_kb: float | None = None
+    alloc_blocks: int | None = None
+
+
+@dataclass
+class PerfResult:
+    """One finished measurement, ready to serialize."""
+
+    document: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.document.get("name", "")
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.document.get("timing", {}).get("events_per_sec", 0.0)
+
+    @property
+    def wall_s(self) -> float:
+        return self.document.get("timing", {}).get("wall_s", 0.0)
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, two-space indent, newline."""
+        return json.dumps(self.document, sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str | os.PathLike[str]) -> None:
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def deterministic_json(self) -> str:
+        """The identity-relevant serialization (see :func:`deterministic_view`)."""
+        return json.dumps(deterministic_view(self.document), sort_keys=True, indent=2) + "\n"
+
+
+def deterministic_view(document: dict[str, Any]) -> dict[str, Any]:
+    """The document minus its environment-dependent parts.
+
+    Strips ``timestamp`` and the whole ``timing`` section; what remains is a
+    pure function of (code, seed, workload) and must be byte-identical
+    across same-seed runs.
+    """
+    return {
+        key: value
+        for key, value in document.items()
+        if key not in _NONDETERMINISTIC_KEYS
+    }
+
+
+def load_result(path: str | os.PathLike[str]) -> PerfResult:
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ValueError(f"{path}: not a perf result document")
+    return PerfResult(document=document)
+
+
+class PerfProbe:
+    """Wraps one run; collects deterministic metrics + wall-clock samples."""
+
+    def __init__(
+        self,
+        name: str,
+        config: dict[str, Any] | None = None,
+        alloc: bool = False,
+        label: str = "",
+    ) -> None:
+        self.name = name
+        self.config = dict(config or {})
+        self.label = label
+        self._alloc = alloc
+        self._phases: list[_Phase] = []
+        self._phase_names: set[str] = set()
+        self._deterministic: dict[str, Any] = {}
+        self._counters: dict[str, float] = {}
+        self._sim_section: dict[str, Any] = {}
+        self._started = time.perf_counter()
+        self._finished: float | None = None
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Measure one named phase (wall clock, optional allocation window)."""
+        if name in self._phase_names:
+            raise ValueError(f"duplicate phase name {name!r}")
+        self._phase_names.add(name)
+        record = _Phase(name=name)
+        self._phases.append(record)
+        owns_tracemalloc = False
+        if self._alloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            owns_tracemalloc = True
+        if self._alloc:
+            tracemalloc.reset_peak()
+            base_size, _ = tracemalloc.get_traced_memory()
+            base_blocks = _traced_blocks()
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            record.wall_s = time.perf_counter() - start
+            if self._alloc:
+                _, peak = tracemalloc.get_traced_memory()
+                record.alloc_peak_kb = round((peak - base_size) / 1024.0, 1)
+                record.alloc_blocks = _traced_blocks() - base_blocks
+                if owns_tracemalloc:
+                    tracemalloc.stop()
+
+    def record(self, key: str, value: Any) -> None:
+        """Attach one deterministic datum (e.g. fabric stats) to the document."""
+        if key in ("schema", "name", "config", "sim", "counters", *_NONDETERMINISTIC_KEYS):
+            raise ValueError(f"reserved document key: {key!r}")
+        self._deterministic[key] = value
+
+    def attach_sim(self, sim: "Simulator") -> None:
+        """Capture the engine's deterministic end-of-run statistics."""
+        self._sim_section = {
+            "events": sim.events_processed,
+            "sim_time_s": sim.now,
+            "pending_final": sim.pending(),
+        }
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Sum every telemetry counter by name (deterministic totals)."""
+        totals: dict[str, float] = {}
+        for (name, _labels), metric in telemetry.metrics.items():
+            if metric.kind != "counter":
+                continue
+            totals[name] = totals.get(name, 0) + metric.value
+        self._counters = totals
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def finish(self) -> PerfResult:
+        """Close the measurement and build the result document."""
+        if self._finished is None:
+            self._finished = time.perf_counter()
+        wall_s = self._finished - self._started
+        events = self._sim_section.get("events", 0)
+        timing: dict[str, Any] = {
+            "wall_s": round(wall_s, 6),
+            "events_per_sec": round(events / wall_s, 3) if wall_s > 0 else 0.0,
+            "peak_rss_kb": _peak_rss_kb(),
+            "phases": {
+                p.name: _phase_timing(p) for p in self._phases
+            },
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        }
+        if self.label:
+            timing["label"] = self.label
+        document: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "config": self.config,
+            "sim": dict(self._sim_section),
+            "counters": self._counters,
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "timing": timing,
+        }
+        document.update(self._deterministic)
+        return PerfResult(document=document)
+
+
+def _phase_timing(p: _Phase) -> dict[str, Any]:
+    entry: dict[str, Any] = {"wall_s": round(p.wall_s, 6)}
+    if p.alloc_peak_kb is not None:
+        entry["alloc_peak_kb"] = p.alloc_peak_kb
+        entry["alloc_blocks"] = p.alloc_blocks
+    return entry
+
+
+def _traced_blocks() -> int:
+    """Number of currently traced allocation blocks (cheap snapshot count)."""
+    stats = tracemalloc.take_snapshot().statistics("filename")
+    return sum(s.count for s in stats)

@@ -23,7 +23,6 @@ exactly these events.
 
 from __future__ import annotations
 
-import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Callable, Protocol as TypingProtocol
@@ -356,7 +355,13 @@ class PeerSamplingService:
             return entry
         if self.cm.has_session(descriptor.node_id):
             return ViewEntry(
-                descriptor=dataclasses.replace(descriptor, route=()),
+                descriptor=NodeDescriptor(
+                    descriptor.node_id,
+                    descriptor.kind,
+                    descriptor.nat_type,
+                    descriptor.public_endpoint,
+                    (),
+                ),
                 age=entry.age,
             )
         return entry
@@ -394,9 +399,7 @@ class PeerSamplingService:
             self._view_put(replacements.pop(0))
 
     def _view_put(self, entry: ViewEntry) -> None:
-        entries = {e.node_id: e for e in self.view.entries()}
-        entries[entry.node_id] = entry
-        self.view.replace_all(list(entries.values()))
+        self.view.put(entry)
 
     def _enforce_public_floor(
         self, incoming: list[ViewEntry], evicted: dict[NodeId, ViewEntry]

@@ -4,12 +4,18 @@ A view is a small set of :class:`ViewEntry` (descriptor + age).  Ages count
 gossip cycles since the pointed-to node inserted itself (age 0); they drive
 both partner selection (oldest first, the *healer* strategy) and merge
 decisions (keep freshest).
+
+Ages advance lazily: :meth:`View.increment_ages` bumps a view-level offset
+in O(1) instead of rebuilding every entry, and entries are materialized with
+their absolute age only when read.  A small cache keeps repeated reads
+within one cycle from re-materializing.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from itertools import chain
 
 from ..nat.traversal import NodeDescriptor
 from ..net.address import NodeId, NodeKind
@@ -33,19 +39,24 @@ class ViewEntry:
         return self.descriptor.kind is NodeKind.PUBLIC
 
     def aged(self) -> "ViewEntry":
-        return replace(self, age=self.age + 1)
+        return ViewEntry(self.descriptor, self.age + 1)
 
     def via(self, forwarder: NodeId) -> "ViewEntry":
         """Entry as shipped to a gossip partner (route extended)."""
-        return replace(self, descriptor=self.descriptor.via(forwarder))
+        return ViewEntry(self.descriptor.via(forwarder), self.age)
 
 
 class View:
     """A bounded, deduplicated set of view entries.
 
-    Mutation goes through :meth:`merge` (with a truncation policy applied by
-    the caller) and the small helpers below; iteration order is insertion
-    order, which keeps runs deterministic.
+    Mutation goes through :meth:`put` / :meth:`remove` / :meth:`replace_all`
+    (with a truncation policy applied by the caller); iteration order is
+    insertion order, which keeps runs deterministic.
+
+    Internally, stored entry ages are relative to ``_age_offset`` so a cycle
+    tick is O(1); every public accessor returns entries carrying their
+    absolute age.  Relative order is unaffected by the shared offset, so
+    ``oldest()`` and the merge logic can compare stored entries directly.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -53,6 +64,8 @@ class View:
             raise ValueError(f"view capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: dict[NodeId, ViewEntry] = {}
+        self._age_offset = 0
+        self._cache: list[ViewEntry] | None = None  # materialized, in order
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -61,17 +74,38 @@ class View:
     def __contains__(self, node_id: NodeId) -> bool:
         return node_id in self._entries
 
+    def _materialized(self) -> list[ViewEntry]:
+        """The entries with absolute ages, cached until the next mutation."""
+        cache = self._cache
+        if cache is None:
+            offset = self._age_offset
+            if offset:
+                cache = [
+                    ViewEntry(e.descriptor, e.age + offset)
+                    for e in self._entries.values()
+                ]
+            else:
+                cache = list(self._entries.values())
+            self._cache = cache
+        return cache
+
     def entries(self) -> list[ViewEntry]:
-        return list(self._entries.values())
+        return list(self._materialized())
 
     def node_ids(self) -> list[NodeId]:
         return list(self._entries.keys())
 
     def get(self, node_id: NodeId) -> ViewEntry | None:
-        return self._entries.get(node_id)
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return None
+        offset = self._age_offset
+        if offset:
+            return ViewEntry(entry.descriptor, entry.age + offset)
+        return entry
 
     def public_entries(self) -> list[ViewEntry]:
-        return [e for e in self._entries.values() if e.is_public]
+        return [e for e in self._materialized() if e.is_public]
 
     def count_public(self) -> int:
         return sum(1 for e in self._entries.values() if e.is_public)
@@ -81,26 +115,50 @@ class View:
         """Highest-age entry — the healer strategy's exchange partner."""
         if not self._entries:
             return None
-        return max(self._entries.values(), key=lambda e: (e.age, e.node_id))
+        entry = max(self._entries.values(), key=lambda e: (e.age, e.node_id))
+        offset = self._age_offset
+        if offset:
+            return ViewEntry(entry.descriptor, entry.age + offset)
+        return entry
 
     def random_entry(self, rng: random.Random) -> ViewEntry | None:
         if not self._entries:
             return None
-        return rng.choice(list(self._entries.values()))
+        return rng.choice(self._materialized())
 
     def sample(self, rng: random.Random, k: int) -> list[ViewEntry]:
-        entries = list(self._entries.values())
+        entries = self._materialized()
         if k >= len(entries):
-            return entries
+            return list(entries)
         return rng.sample(entries, k)
 
     # ------------------------------------------------------------------
     def increment_ages(self) -> None:
-        """One cycle passed: every entry gets older."""
-        self._entries = {nid: e.aged() for nid, e in self._entries.items()}
+        """One cycle passed: every entry gets older (O(1) offset bump)."""
+        self._age_offset += 1
+        self._cache = None
+
+    def put(self, entry: ViewEntry) -> None:
+        """Insert or refresh one absolute-aged entry (position-preserving).
+
+        An existing node keeps its slot; a new node appends.  Inserting a new
+        node into a full view is an error — callers evict first.
+        """
+        entries = self._entries
+        node_id = entry.node_id
+        if node_id not in entries and len(entries) >= self.capacity:
+            raise ValueError(
+                f"{len(entries) + 1} entries exceed view capacity {self.capacity}"
+            )
+        offset = self._age_offset
+        if offset:
+            entry = ViewEntry(entry.descriptor, entry.age - offset)
+        entries[node_id] = entry
+        self._cache = None
 
     def remove(self, node_id: NodeId) -> None:
-        self._entries.pop(node_id, None)
+        if self._entries.pop(node_id, None) is not None:
+            self._cache = None
 
     def replace_all(self, entries: list[ViewEntry]) -> None:
         """Install a post-truncation entry list (must fit the capacity)."""
@@ -109,6 +167,8 @@ class View:
                 f"{len(entries)} entries exceed view capacity {self.capacity}"
             )
         self._entries = {e.node_id: e for e in entries}
+        self._age_offset = 0
+        self._cache = None
 
     @staticmethod
     def merge_candidates(
@@ -119,7 +179,7 @@ class View:
         This is the raw candidate pool handed to a truncation policy.
         """
         best: dict[NodeId, ViewEntry] = {}
-        for entry in list(own) + list(received):
+        for entry in chain(own, received):
             if entry.node_id == self_id:
                 continue
             if entry.descriptor.route_too_long():

@@ -1,5 +1,6 @@
 """Tests for the crypto provider interface (real + simulated) and cost model."""
 
+import pickle
 import random
 
 import pytest
@@ -54,6 +55,16 @@ class TestProviderContract:
         enc = provider.encrypt_payload(key, "body", size_hint=128)
         with pytest.raises(CryptoError):
             provider.decrypt_payload(other, enc)
+
+    def test_envelope_never_contains_key_bytes(self, provider):
+        """Regression: the sim provider once stored the raw symmetric key as
+        the envelope's ``auth`` field, leaking it to anyone holding the
+        envelope.  No serialization of the envelope may contain the key."""
+        key = provider.new_symmetric_key()
+        enc = provider.encrypt_payload(key, {"m": "hello"}, size_hint=256)
+        assert enc.auth != key
+        assert key not in pickle.dumps(enc)
+        assert provider.decrypt_payload(key, enc) == {"m": "hello"}
 
     def test_sign_verify(self, provider):
         pair = provider.generate_keypair()
@@ -147,3 +158,42 @@ class TestCostAccounting:
         accountant.rsa_decrypt(1)
         accountant.reset()
         assert accountant.node_total_ms(1) == 0.0
+
+    def test_sim_charges_follow_serialized_size(self):
+        """Regression: the sim provider once charged a flat 256 bytes of AES
+        per seal and ``size_hint`` per payload regardless of the object; it
+        must charge by serialized body size like the real provider."""
+        accountant = CpuAccountant()
+        provider = SimCryptoProvider(random.Random(7), accountant)
+        pair = provider.generate_keypair()
+        small, big = "x", "x" * 50_000
+
+        provider.seal(pair.public, small, node=1)
+        small_ms = accountant.node_total_ms(1, "aes")
+        provider.seal(pair.public, big, node=2)
+        big_ms = accountant.node_total_ms(2, "aes")
+        assert big_ms > small_ms > 0
+
+        key = provider.new_symmetric_key()
+        provider.encrypt_payload(key, small, 128, node=3)
+        provider.encrypt_payload(key, big, 128, node=4)
+        assert (
+            accountant.node_total_ms(4, "aes")
+            > accountant.node_total_ms(3, "aes")
+            > 0
+        )
+
+    def test_sim_and_real_charge_same_order_of_magnitude(self):
+        """The aligned sim charge should be comparable to the real one for
+        the same object (both derive from the serialized body length)."""
+        obj = {"entries": list(range(200))}
+        sim_acct, real_acct = CpuAccountant(), CpuAccountant()
+        sim = SimCryptoProvider(random.Random(7), sim_acct)
+        real = RealCryptoProvider(random.Random(7), real_acct, key_bits=512)
+        key = b"k" * 16
+        sim.encrypt_payload(key, obj, 128, node=1)
+        real.encrypt_payload(key, obj, 128, node=1)
+        sim_ms = sim_acct.node_total_ms(1, "aes")
+        real_ms = real_acct.node_total_ms(1, "aes")
+        assert sim_ms > 0 and real_ms > 0
+        assert 0.2 < sim_ms / real_ms < 5.0

@@ -109,6 +109,92 @@ class TestSimulator:
         assert sim.events_processed == 2
 
 
+class TestPendingAccounting:
+    """pending() counts live work, not heap occupancy (regression tests)."""
+
+    def test_pending_excludes_cancelled_events(self):
+        sim = Simulator()
+        live = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+        doomed = [sim.schedule(float(i + 10), lambda: None) for i in range(5)]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending() == len(live)
+
+    def test_cancel_twice_counts_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        fired = {}
+        event = sim.schedule(1.0, lambda: fired.setdefault("yes", True))
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # too late: already fired
+        assert fired == {"yes": True}
+        assert sim.pending() == 1
+
+    def test_cancellation_storm_compacts_heap(self):
+        """A storm of cancellations must shrink the heap, not just mark it."""
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        storm = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in storm:
+            event.cancel()
+        # Lazily-deleted entries dominated the queue, so compaction ran:
+        # of the 500 tombstones at most a sub-threshold tail (<= 64) may
+        # remain heaped, and pending() never counts them.
+        assert sim.pending() == len(keep)
+        assert len(sim._queue) - sim.pending() <= 64
+        assert len(sim._queue) < 100
+        fired = []
+        for i, event in enumerate(keep):
+            event.callback = lambda i=i: fired.append(i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_compaction_preserves_order_and_new_schedules(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        storm = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+        for event in storm:
+            event.cancel()
+        sim.schedule(2.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_compaction_inside_run_keeps_draining(self):
+        """Compaction triggered by a callback must not orphan the run loop."""
+        sim = Simulator()
+        fired = []
+        storm = [sim.schedule(10.0 + i, lambda: None) for i in range(200)]
+
+        def cancel_all():
+            fired.append("cancel")
+            for event in storm:
+                event.cancel()
+            sim.schedule(1.0, lambda: fired.append("after"))
+
+        sim.schedule(1.0, cancel_all)
+        sim.run()
+        assert fired == ["cancel", "after"]
+        assert sim.pending() == 0
+
+    def test_step_counts_skipped_cancelled_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.step() is True  # skips the tombstone, fires the live one
+        assert sim.events_processed == 1
+        assert sim.pending() == 0
+
+
 class TestPeriodicTask:
     def test_ticks_at_period(self):
         sim = Simulator()
