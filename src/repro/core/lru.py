@@ -1,0 +1,109 @@
+"""A small bounded LRU map shared by the stack's lookup caches.
+
+PR 4 introduced several memoization dicts on hot paths (descriptor
+lookups, latency pair bases, owner hints) that grew without bound for the
+lifetime of a :class:`~repro.harness.world.World`; the wire codec's encode
+cache joins them in this PR.  All of them now sit on :class:`LruCache`: a
+plain insertion-ordered dict with move-to-front on hit and
+evict-the-oldest past ``capacity``, plus hit/miss counters that the owning
+layer can publish as ``<name>.cache_hit`` / ``<name>.cache_miss``
+telemetry counters (see :meth:`publish`).
+
+Eviction is deterministic (pure LRU, no clocks), so a bounded cache keeps
+the same-seed byte-identical-trace guarantee: two runs touch the caches in
+the same order and therefore evict the same keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction and counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data",
+                 "_published_hits", "_published_misses")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LruCache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: dict[Any, Any] = {}
+        self._published_hits = 0
+        self._published_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def items(self):
+        return self._data.items()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        data = self._data
+        value = data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        # Move-to-front: dicts preserve insertion order, so re-inserting
+        # makes this key the newest entry.
+        del data[key]
+        data[key] = value
+        return value
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        """Look up ``key`` without touching recency or counters."""
+        return self._data.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def publish(self, telemetry: Any, name: str, **labels: object) -> None:
+        """Increment ``<name>.cache_hit`` / ``<name>.cache_miss`` counters.
+
+        Incremental: only the delta since the previous publish is added, so
+        hot paths can call this on every telemetry-enabled operation without
+        double counting.  No-ops (two int compares) when nothing changed.
+        """
+        hits, misses = self.hits, self.misses
+        if hits != self._published_hits:
+            telemetry.counter(f"{name}.cache_hit", **labels).inc(
+                hits - self._published_hits
+            )
+            self._published_hits = hits
+        if misses != self._published_misses:
+            telemetry.counter(f"{name}.cache_miss", **labels).inc(
+                misses - self._published_misses
+            )
+            self._published_misses = misses
+
+
+_MISSING = object()

@@ -13,6 +13,7 @@ Reports print to stdout in the paper's row/series format.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from . import (
@@ -67,7 +68,18 @@ def main(argv: list[str] | None = None) -> int:
         help="population scale; 1.0 = paper size (default 0.5)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for multi-point sweeps (default 1 = "
+             "sequential; output is byte-identical either way; 0 = one "
+             "per core)",
+    )
     args = parser.parse_args(argv)
+    workers = args.workers
+    if workers == 0:
+        from ..parallel import default_workers
+
+        workers = default_workers()
 
     if args.experiment == "list":
         for name, (title, _run) in EXPERIMENTS.items():
@@ -80,6 +92,10 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"scale": args.scale}
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        # Sweep-style experiments take a worker count; single-world ones
+        # (fig7, fig9, table2, scale, wire, ablation-path) stay sequential.
+        if workers > 1 and "workers" in inspect.signature(run).parameters:
+            kwargs["workers"] = workers
         report = run(**kwargs)
         print(report.render())
     return 0

@@ -26,6 +26,7 @@ from ..metrics.graph import in_degree_distribution
 from ..metrics.stats import percentile
 from ..nat.traversal import TraversalPolicy
 from ..net.address import NodeKind, Protocol
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from ..pss.policies import AggressiveBiasedPolicy
 from .common import GroupPlan, scaled
 
@@ -103,10 +104,67 @@ def run_path_length(
 
 
 # ----------------------------------------------------------------------
+def _pi_point(point):
+    """One Π world under churn, reduced to (counts, p_p90, n_p90)."""
+    pi, point_seed, n_nodes, churn_rate, group_count = point
+    world = World(
+        WorldConfig(seed=point_seed, whisper=replace(WhisperConfig(), pi=pi))
+    )
+    # Enough initial nodes to yield group_count P-node leaders.
+    world.populate(max(round(n_nodes * 0.15), group_count * 4))
+    world.start_all()
+    world.run(40.0)
+    plan = GroupPlan(world, group_count)
+    counts = {"success": 0, "alt": 0, "no_alt": 0}
+
+    def hook(outcome, attempts, partner, duration):
+        if outcome != "success" and partner not in world.nodes:
+            return
+        if outcome in ("alt", "alt_failed"):
+            counts["alt"] += 1
+        else:
+            counts[outcome] += 1
+
+    def wire(node):
+        def subscribe():
+            if not node.alive:
+                return
+            for name in plan.subscribe(node, 1):
+                node.group(name).exchange_outcome_hook = hook
+        world.sim.schedule(60.0, subscribe)
+
+    for name, leader in plan.leaders.items():
+        leader.group(name).exchange_outcome_hook = hook
+    for node in world.alive_nodes():
+        if node.node_id not in plan.leader_ids():
+            wire(node)
+    script = (
+        f"from 0s to 30s join {n_nodes - len(world.nodes)}\n"
+        "at 240s set replacement ratio to 100%\n"
+        f"from 240s to 840s const churn {churn_rate}% each 60s\n"
+        "at 840s stop"
+    )
+    ChurnDriver(
+        world, parse_script(script), on_join=wire, protected=plan.leader_ids(),
+    )
+    world.run(900.0)
+    graph = world.view_graph()
+    p_ids = [n.node_id for n in world.public_nodes()]
+    n_ids = [n.node_id for n in world.natted_nodes()]
+    p_p90 = percentile(
+        [float(d) for d in in_degree_distribution(graph, p_ids)], 90
+    )
+    n_p90 = percentile(
+        [float(d) for d in in_degree_distribution(graph, n_ids)], 90
+    )
+    return counts, p_p90, n_p90
+
+
 def run_pi_sweep(
     scale: float = 1.0, seed: int = 2002,
     pi_values: tuple[int, ...] = (1, 2, 3, 5),
     churn_rate: float = 5.0, group_count: int = 8,
+    workers: int = 1,
 ) -> Report:
     """Route availability under churn vs P-node load, as Π grows."""
     report = Report(title="Ablation — Pi: route availability vs P-node load")
@@ -119,57 +177,18 @@ def run_pi_sweep(
             "Pi", "success", "alt", "no alt", "P in-degree p90 / N p90",
         ],
     )
-    for pi in pi_values:
-        world = World(
-            WorldConfig(seed=seed + pi, whisper=replace(WhisperConfig(), pi=pi))
-        )
-        # Enough initial nodes to yield group_count P-node leaders.
-        world.populate(max(round(n_nodes * 0.15), group_count * 4))
-        world.start_all()
-        world.run(40.0)
-        plan = GroupPlan(world, group_count)
-        counts = {"success": 0, "alt": 0, "no_alt": 0}
-
-        def hook(outcome, attempts, partner, duration, counts=counts, world=world):
-            if outcome != "success" and partner not in world.nodes:
-                return
-            if outcome in ("alt", "alt_failed"):
-                counts["alt"] += 1
-            else:
-                counts[outcome] += 1
-
-        def wire(node, plan=plan, hook=hook, world=world):
-            def subscribe():
-                if not node.alive:
-                    return
-                for name in plan.subscribe(node, 1):
-                    node.group(name).exchange_outcome_hook = hook
-            world.sim.schedule(60.0, subscribe)
-
-        for name, leader in plan.leaders.items():
-            leader.group(name).exchange_outcome_hook = hook
-        for node in world.alive_nodes():
-            if node.node_id not in plan.leader_ids():
-                wire(node)
-        script = (
-            f"from 0s to 30s join {n_nodes - len(world.nodes)}\n"
-            "at 240s set replacement ratio to 100%\n"
-            f"from 240s to 840s const churn {churn_rate}% each 60s\n"
-            "at 840s stop"
-        )
-        ChurnDriver(
-            world, parse_script(script), on_join=wire, protected=plan.leader_ids(),
-        )
-        world.run(900.0)
-        graph = world.view_graph()
-        p_ids = [n.node_id for n in world.public_nodes()]
-        n_ids = [n.node_id for n in world.natted_nodes()]
-        p_p90 = percentile(
-            [float(d) for d in in_degree_distribution(graph, p_ids)], 90
-        )
-        n_p90 = percentile(
-            [float(d) for d in in_degree_distribution(graph, n_ids)], 90
-        )
+    spec = SweepSpec(
+        name="ablation-pi",
+        points=tuple(
+            (pi, derive_seed(seed, "ablation-pi", pi), n_nodes, churn_rate,
+             group_count)
+            for pi in pi_values
+        ),
+        worker=_pi_point,
+    )
+    for pi, (counts, p_p90, n_p90) in zip(
+        pi_values, run_sweep(spec, workers=workers)
+    ):
         total = sum(counts.values()) or 1
         table.add_row(
             pi,
@@ -187,8 +206,49 @@ def run_pi_sweep(
 
 
 # ----------------------------------------------------------------------
+def _lease_point(point):
+    """One lease-policy world reduced to (delivered, sent).
+
+    Both policies deliberately share the same seed (a controlled
+    comparison).  The policy travels as a flag, not a ``TraversalPolicy``
+    object, to keep points plain picklable scalars.
+    """
+    udp, point_seed, n_nodes, messages = point
+    policy = (
+        TraversalPolicy(session_lifetime=300.0, protocol=Protocol.UDP)
+        if udp else TraversalPolicy()
+    )
+    world = World(
+        WorldConfig(
+            seed=point_seed,
+            whisper=replace(WhisperConfig(), traversal=policy),
+        )
+    )
+    world.populate(n_nodes)
+    world.start_all()
+    world.run(150.0)
+    # Capture gateway advertisements now, then let them go stale.
+    natted = world.natted_nodes()
+    rng = world.registry.stream("ablation")
+    pairs = [tuple(rng.sample(natted, 2)) for _ in range(messages)]
+    contacts = {dst.node_id: _contact_for(dst) for _, dst in pairs}
+    world.run(600.0)  # the quiet gap: UDP leases expire, TCP survive
+    delivered = []
+    sent = 0
+    for src, dst in pairs:
+        dst.wcl.set_receive_upcall(
+            lambda content, size, d=dst: delivered.append(d.node_id)
+        )
+        if src.wcl.send_to(contacts[dst.node_id], "stale probe", 256):
+            sent += 1
+        world.run(1.0)
+    world.run(30.0)
+    return len(delivered), sent
+
+
 def run_session_leases(
     scale: float = 1.0, seed: int = 2003, messages: int = 300,
+    workers: int = 1,
 ) -> Report:
     """TCP-friendly (24 h) vs UDP-only (5 min) NAT association leases."""
     report = Report(title="Ablation — NAT association leases (TCP vs UDP)")
@@ -197,42 +257,20 @@ def run_session_leases(
         title=f"{messages} confidential messages after a 10-minute quiet gap",
         headers=["lease policy", "delivered", "first-attempt rate"],
     )
-    policies = (
-        ("TCP 24h (paper)", TraversalPolicy()),
-        (
-            "UDP 5min",
-            TraversalPolicy(session_lifetime=300.0, protocol=Protocol.UDP),
+    policies = (("TCP 24h (paper)", False), ("UDP 5min", True))
+    spec = SweepSpec(
+        name="ablation-leases",
+        points=tuple(
+            (udp, seed, n_nodes, messages) for _label, udp in policies
         ),
+        worker=_lease_point,
     )
-    for label, policy in policies:
-        world = World(
-            WorldConfig(
-                seed=seed,
-                whisper=replace(WhisperConfig(), traversal=policy),
-            )
-        )
-        world.populate(n_nodes)
-        world.start_all()
-        world.run(150.0)
-        # Capture gateway advertisements now, then let them go stale.
-        natted = world.natted_nodes()
-        rng = world.registry.stream("ablation")
-        pairs = [tuple(rng.sample(natted, 2)) for _ in range(messages)]
-        contacts = {dst.node_id: _contact_for(dst) for _, dst in pairs}
-        world.run(600.0)  # the quiet gap: UDP leases expire, TCP survive
-        delivered = []
-        sent = 0
-        for src, dst in pairs:
-            dst.wcl.set_receive_upcall(
-                lambda content, size, d=dst: delivered.append(d.node_id)
-            )
-            if src.wcl.send_to(contacts[dst.node_id], "stale probe", 256):
-                sent += 1
-            world.run(1.0)
-        world.run(30.0)
+    for (label, _udp), (delivered, sent) in zip(
+        policies, run_sweep(spec, workers=workers)
+    ):
         table.add_row(
-            label, f"{len(delivered)}/{messages}",
-            f"{len(delivered) / max(sent, 1):.1%}",
+            label, f"{delivered}/{messages}",
+            f"{delivered / max(sent, 1):.1%}",
         )
     report.add(table)
     report.note(
@@ -243,7 +281,38 @@ def run_session_leases(
 
 
 # ----------------------------------------------------------------------
-def run_truncation_policy(scale: float = 1.0, seed: int = 2004) -> Report:
+def _truncation_point(point):
+    """One truncation-policy world reduced to its summary row values.
+
+    Both policies deliberately share the same seed (a controlled
+    comparison), so the point seed is the caller's seed untouched.
+    """
+    aggressive, point_seed, n_nodes = point
+    world = World(WorldConfig(seed=point_seed))
+    world.populate(n_nodes)
+    if aggressive:
+        for node in world.nodes.values():
+            node.pss.policy = AggressiveBiasedPolicy(
+                node.pss.config.view_size, node.config.pi
+            )
+    world.start_all()
+    world.run(600.0)
+    graph = world.view_graph()
+    p_ids = [n.node_id for n in world.public_nodes()]
+    degrees = [float(d) for d in in_degree_distribution(graph, p_ids)]
+    p_counts = [n.pss.view.count_public() for n in world.alive_nodes()]
+    meeting = sum(1 for c in p_counts if c >= 3)
+    return (
+        sum(p_counts) / len(p_counts),
+        percentile(degrees, 50),
+        percentile(degrees, 90),
+        f"{meeting}/{len(p_counts)}",
+    )
+
+
+def run_truncation_policy(
+    scale: float = 1.0, seed: int = 2004, workers: int = 1,
+) -> Report:
     """Paper's biased healer vs the aggressive surplus-P eviction variant."""
     report = Report(title="Ablation — view truncation policy (Pi=3)")
     n_nodes = scaled(500, scale, minimum=100)
@@ -254,29 +323,18 @@ def run_truncation_policy(scale: float = 1.0, seed: int = 2004) -> Report:
             "views meeting Pi",
         ],
     )
-    for label, aggressive in (("biased healer (paper)", False),
-                              ("aggressive eviction", True)):
-        world = World(WorldConfig(seed=seed))
-        world.populate(n_nodes)
-        if aggressive:
-            for node in world.nodes.values():
-                node.pss.policy = AggressiveBiasedPolicy(
-                    node.pss.config.view_size, node.config.pi
-                )
-        world.start_all()
-        world.run(600.0)
-        graph = world.view_graph()
-        p_ids = [n.node_id for n in world.public_nodes()]
-        degrees = [float(d) for d in in_degree_distribution(graph, p_ids)]
-        p_counts = [n.pss.view.count_public() for n in world.alive_nodes()]
-        meeting = sum(1 for c in p_counts if c >= 3)
-        table.add_row(
-            label,
-            sum(p_counts) / len(p_counts),
-            percentile(degrees, 50),
-            percentile(degrees, 90),
-            f"{meeting}/{len(p_counts)}",
-        )
+    policies = (("biased healer (paper)", False), ("aggressive eviction", True))
+    spec = SweepSpec(
+        name="ablation-policy",
+        points=tuple(
+            (aggressive, seed, n_nodes) for _label, aggressive in policies
+        ),
+        worker=_truncation_point,
+    )
+    for (label, _aggressive), row in zip(
+        policies, run_sweep(spec, workers=workers)
+    ):
+        table.add_row(label, *row)
     report.add(table)
     report.note(
         "Aggressive eviction caps P-node presence near Pi, trading view "
@@ -286,9 +344,42 @@ def run_truncation_policy(scale: float = 1.0, seed: int = 2004) -> Report:
 
 
 # ----------------------------------------------------------------------
+def _observation_point(point):
+    """One path-length world reduced to (flow count, sweep dict).
+
+    Both path lengths deliberately share the same seed (a controlled
+    comparison).
+    """
+    from ..analysis import adversary_sweep, extract_flows
+    from ..net.observer import LinkObserver
+
+    path_mixes, point_seed, n_nodes, messages = point
+    world = World(WorldConfig(seed=point_seed))
+    tap = LinkObserver()
+    tap.watch_all()
+    world.network.add_observer(tap)
+    world.populate(n_nodes)
+    world.start_all()
+    world.run(150.0)
+    tap.packets.clear()  # only analyse the confidential phase
+    natted = world.natted_nodes()
+    rng = world.registry.stream("observe")
+    for i in range(messages):
+        src, dst = rng.sample(natted, 2)
+        src.wcl.send_to(_contact_for(dst), f"m{i}", 256, mixes=path_mixes)
+        world.run(2.0)
+    world.run(20.0)
+    flows = extract_flows(tap.packets)
+    sweep = adversary_sweep(
+        flows, link_fractions=(0.1, 0.25, 0.5, 0.75, 0.9),
+        trials=15, rng=world.registry.stream("adversary"),
+    )
+    return len(flows), sweep
+
+
 def run_observation_sweep(
     scale: float = 1.0, seed: int = 2005, messages: int = 200,
-    mixes: int = 2,
+    mixes: int = 2, workers: int = 1,
 ) -> Report:
     """Relationship anonymity vs adversary link coverage.
 
@@ -297,35 +388,22 @@ def run_observation_sweep(
     the links that ever carried onions fully traces ~p^h of the messages
     (h = wire hops).  Longer paths (footnote 2) push the curve down.
     """
-    from ..analysis import adversary_sweep, extract_flows
-    from ..net.observer import LinkObserver
-
     report = Report(title="Ablation — anonymity vs adversary link coverage")
     n_nodes = scaled(300, scale, minimum=60)
-    for path_mixes in (mixes, mixes + 1):
-        world = World(WorldConfig(seed=seed))
-        tap = LinkObserver()
-        tap.watch_all()
-        world.network.add_observer(tap)
-        world.populate(n_nodes)
-        world.start_all()
-        world.run(150.0)
-        tap.packets.clear()  # only analyse the confidential phase
-        natted = world.natted_nodes()
-        rng = world.registry.stream("observe")
-        for i in range(messages):
-            src, dst = rng.sample(natted, 2)
-            src.wcl.send_to(_contact_for(dst), f"m{i}", 256, mixes=path_mixes)
-            world.run(2.0)
-        world.run(20.0)
-        flows = extract_flows(tap.packets)
-        sweep = adversary_sweep(
-            flows, link_fractions=(0.1, 0.25, 0.5, 0.75, 0.9),
-            trials=15, rng=world.registry.stream("adversary"),
-        )
+    path_lengths = (mixes, mixes + 1)
+    spec = SweepSpec(
+        name="ablation-anonymity",
+        points=tuple(
+            (path_mixes, seed, n_nodes, messages) for path_mixes in path_lengths
+        ),
+        worker=_observation_point,
+    )
+    for path_mixes, (flow_count, sweep) in zip(
+        path_lengths, run_sweep(spec, workers=workers)
+    ):
         table = Table(
             title=(
-                f"{path_mixes} mixes, {len(flows)} traced onions, "
+                f"{path_mixes} mixes, {flow_count} traced onions, "
                 f"{n_nodes} nodes"
             ),
             headers=["links observed", "flows fully traced"],

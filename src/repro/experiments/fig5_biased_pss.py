@@ -8,6 +8,10 @@ and P-nodes separately.
 Expected shape (paper): clustering is essentially unaffected by Π; the
 P-node in-degree distribution shifts right as Π grows while N-node
 in-degrees shift slightly left.
+
+Each Π value is an independent seeded world; the sweep runs through
+:func:`repro.parallel.run_sweep`, so ``workers=N`` uses N cores with
+output byte-identical to the sequential run.
 """
 
 from __future__ import annotations
@@ -20,9 +24,34 @@ from ..harness.world import World, WorldConfig
 from ..metrics.graph import in_degree_distribution, local_clustering_coefficient
 from ..metrics.stats import percentile
 from ..net.address import NodeKind
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from .common import scaled
 
 __all__ = ["run"]
+
+
+def _point(point: tuple[int, int, int, int]) -> tuple[list, list, list]:
+    """One Π world reduced to its sample vectors (picklable)."""
+    pi, point_seed, n_nodes, cycles = point
+    world = World(
+        WorldConfig(
+            seed=point_seed,
+            whisper=replace(WhisperConfig(), pi=pi),
+        )
+    )
+    world.populate(n_nodes)
+    world.start_all()
+    world.run(cycles * 10.0)
+    graph = world.view_graph()
+    clustering = [
+        local_clustering_coefficient(graph, node.node_id)
+        for node in world.alive_nodes()
+    ]
+    n_ids = [n.node_id for n in world.alive_nodes() if n.cm.kind is NodeKind.NATTED]
+    p_ids = [n.node_id for n in world.alive_nodes() if n.cm.kind is NodeKind.PUBLIC]
+    n_degrees = [float(d) for d in in_degree_distribution(graph, n_ids)]
+    p_degrees = [float(d) for d in in_degree_distribution(graph, p_ids)]
+    return clustering, n_degrees, p_degrees
 
 
 def run(
@@ -30,6 +59,7 @@ def run(
     seed: int = 1005,
     pi_values: tuple[int, ...] = (0, 1, 2, 3),
     cycles: int = 120,
+    workers: int = 1,
 ) -> Report:
     report = Report(title="Fig. 5 — Biased PSS: clustering and in-degree")
     n_nodes = scaled(1000, scale, minimum=100)
@@ -40,25 +70,17 @@ def run(
             "N-deg p50", "N-deg p90", "P-deg p50", "P-deg p90", "P-deg max",
         ],
     )
-    for pi in pi_values:
-        world = World(
-            WorldConfig(
-                seed=seed + pi,
-                whisper=replace(WhisperConfig(), pi=pi),
-            )
-        )
-        world.populate(n_nodes)
-        world.start_all()
-        world.run(cycles * 10.0)
-        graph = world.view_graph()
-        clustering = [
-            local_clustering_coefficient(graph, node.node_id)
-            for node in world.alive_nodes()
-        ]
-        n_ids = [n.node_id for n in world.alive_nodes() if n.cm.kind is NodeKind.NATTED]
-        p_ids = [n.node_id for n in world.alive_nodes() if n.cm.kind is NodeKind.PUBLIC]
-        n_degrees = [float(d) for d in in_degree_distribution(graph, n_ids)]
-        p_degrees = [float(d) for d in in_degree_distribution(graph, p_ids)]
+    spec = SweepSpec(
+        name="fig5",
+        points=tuple(
+            (pi, derive_seed(seed, "fig5", pi), n_nodes, cycles)
+            for pi in pi_values
+        ),
+        worker=_point,
+    )
+    for pi, (clustering, n_degrees, p_degrees) in zip(
+        pi_values, run_sweep(spec, workers=workers)
+    ):
         summary.add_row(
             pi,
             percentile(clustering, 50), percentile(clustering, 90), max(clustering),

@@ -8,6 +8,13 @@ with key sampling) across three N:P population ratios (80/20, 70/30,
 Expected shape: balanced N/P bandwidth when unbiased; P-node load grows
 with Π but stays within ~2.5 KB per 10 s cycle; the scarcer P-nodes are,
 the more they carry.
+
+The 15-point Π × ratio sweep runs through
+:func:`repro.parallel.run_sweep`.  Per-point seeds come from
+:func:`~repro.parallel.derive_seed` over the point key — the additive
+``seed + pi + round(natted_fraction * 100)`` scheme used before PR 5
+collides between distinct points (Π=7/nf=0.05 and Π=2/nf=0.10 both map
+to ``seed + 12``), silently reusing RNG streams.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from ..core.node import WhisperConfig
 from ..harness.report import Report, Table
 from ..harness.world import World, WorldConfig
 from ..net.address import NodeKind
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from ..pss.gossip import PssConfig
 from .common import scaled
 
@@ -38,12 +46,39 @@ RATIOS = (0.8, 0.7, 0.5)  # natted fractions: N:P of 80/20, 70/30, 50/50
 _CATEGORIES = ("pss", "wcl.cb")
 
 
+def _point(point) -> tuple[float, float, float, float]:
+    """One (ratio, config) world reduced to its per-cycle KB row."""
+    (natted_fraction, pi, exchange_keys, point_seed, n_nodes,
+     warmup_cycles, window_cycles, wire_mode) = point
+    cycle = 10.0
+    world = World(
+        WorldConfig(
+            seed=point_seed,
+            natted_fraction=natted_fraction,
+            whisper=replace(
+                WhisperConfig(),
+                pi=pi,
+                pss=PssConfig(exchange_keys=exchange_keys),
+            ),
+            wire_mode=wire_mode,
+        )
+    )
+    world.populate(n_nodes)
+    world.start_all()
+    world.run(warmup_cycles * cycle)
+    world.network.accountant.snapshot()  # reset the window
+    world.run(window_cycles * cycle)
+    window = world.network.accountant.snapshot()
+    return _per_cycle_kb(world, window, window_cycles)
+
+
 def run(
     scale: float = 1.0,
     seed: int = 1006,
     warmup_cycles: int = 20,
     window_cycles: int = 20,
     wire_mode: str = "off",
+    workers: int = 1,
 ) -> Report:
     """``wire_mode="measured"`` re-runs the figure with codec-true frame
     sizes instead of the paper's ``WireSizes`` estimates (see
@@ -53,7 +88,18 @@ def run(
         title="Fig. 6 — Key sampling bandwidth (KB per 10 s cycle)" + suffix
     )
     n_nodes = scaled(1000, scale, minimum=100)
-    cycle = 10.0
+    points = []
+    for natted_fraction in RATIOS:
+        for label, pi, exchange_keys in CONFIGS:
+            points.append((
+                natted_fraction, pi, exchange_keys,
+                derive_seed(seed, "fig6", natted_fraction, label),
+                n_nodes, warmup_cycles, window_cycles, wire_mode,
+            ))
+    rows = iter(run_sweep(
+        SweepSpec(name="fig6", points=tuple(points), worker=_point),
+        workers=workers,
+    ))
     for natted_fraction in RATIOS:
         table = Table(
             title=(
@@ -62,28 +108,8 @@ def run(
             ),
             headers=["config", "N up", "N down", "P up", "P down"],
         )
-        for label, pi, exchange_keys in CONFIGS:
-            world = World(
-                WorldConfig(
-                    seed=seed + pi + round(natted_fraction * 100),
-                    natted_fraction=natted_fraction,
-                    whisper=replace(
-                        WhisperConfig(),
-                        pi=pi,
-                        pss=PssConfig(exchange_keys=exchange_keys),
-                    ),
-                    wire_mode=wire_mode,
-                )
-            )
-            world.populate(n_nodes)
-            world.start_all()
-            world.run(warmup_cycles * cycle)
-            world.network.accountant.snapshot()  # reset the window
-            world.run(window_cycles * cycle)
-            window = world.network.accountant.snapshot()
-            n_up, n_down, p_up, p_down = _per_cycle_kb(
-                world, window, window_cycles
-            )
+        for label, _pi, _exchange_keys in CONFIGS:
+            n_up, n_down, p_up, p_down = next(rows)
             table.add_row(label, n_up, n_down, p_up, p_down)
         report.add(table)
     report.note(

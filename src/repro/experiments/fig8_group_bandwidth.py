@@ -21,6 +21,7 @@ from ..harness.report import Report, Table
 from ..harness.world import World, WorldConfig
 from ..metrics.stats import stacked_percentiles
 from ..net.address import NodeKind
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from .common import GroupPlan, scaled, subscribe_groups
 
 __all__ = ["run", "GROUPS_PER_NODE"]
@@ -34,6 +35,7 @@ def run(
     memberships: tuple[int, ...] = GROUPS_PER_NODE,
     window_cycles: int = 5,
     wire_mode: str = "off",
+    workers: int = 1,
 ) -> Report:
     """``wire_mode="measured"`` re-runs the figure with codec-true frame
     sizes instead of the paper's ``WireSizes`` estimates (see
@@ -53,8 +55,16 @@ def run(
             )
             report.add(table)
     tables = report.sections  # [P-up, N-up, P-down, N-down]
-    for per_node in memberships:
-        rows = _run_one(per_node, seed + per_node, n_nodes, window_cycles, wire_mode)
+    spec = SweepSpec(
+        name="fig8",
+        points=tuple(
+            (per_node, derive_seed(seed, "fig8", per_node), n_nodes,
+             window_cycles, wire_mode)
+            for per_node in memberships
+        ),
+        worker=_point,
+    )
+    for per_node, rows in zip(memberships, run_sweep(spec, workers=workers)):
         for table, stacked in zip(tables, rows):
             table.add_row(
                 per_node,
@@ -68,6 +78,12 @@ def run(
         "Paper shape: linear growth in subscribed groups; P-nodes > N-nodes."
     )
     return report
+
+
+def _point(point):
+    """One membership-count world reduced to its four percentile rows."""
+    per_node, point_seed, n_nodes, window_cycles, wire_mode = point
+    return _run_one(per_node, point_seed, n_nodes, window_cycles, wire_mode)
 
 
 def _run_one(

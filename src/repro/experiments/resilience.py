@@ -30,6 +30,7 @@ from ..harness.invariants import (
 )
 from ..harness.report import Report, Table
 from ..harness.world import World, WorldConfig
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from .common import GroupPlan, scaled
 
 __all__ = ["run", "SCENARIOS", "run_scenario", "ScenarioResult"]
@@ -77,11 +78,18 @@ class ScenarioResult:
         return success / total if total else None
 
 
+def _point(point) -> ScenarioResult:
+    """One fault-scenario world reduced to its window outcomes."""
+    name, point_seed, n_nodes, group_count = point
+    return run_scenario(name, point_seed, n_nodes, group_count)
+
+
 def run(
     scale: float = 1.0,
     seed: int = 2001,
     scenarios: tuple[str, ...] | None = None,
     group_count: int = 8,
+    workers: int = 1,
 ) -> Report:
     report = Report(title="Resilience — recovery from injected faults")
     n_nodes = scaled(400, scale, minimum=100)
@@ -96,8 +104,15 @@ def run(
         ],
     )
     names = scenarios if scenarios is not None else tuple(SCENARIOS)
-    for offset, name in enumerate(names):
-        result = run_scenario(name, seed + offset, n_nodes, group_count)
+    spec = SweepSpec(
+        name="resilience",
+        points=tuple(
+            (name, derive_seed(seed, "resilience", name), n_nodes, group_count)
+            for name in names
+        ),
+        worker=_point,
+    )
+    for name, result in zip(names, run_sweep(spec, workers=workers)):
         table.add_row(
             name,
             _fmt(result.rate("before")),

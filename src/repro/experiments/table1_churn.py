@@ -24,6 +24,7 @@ from ..core.node import WhisperNode
 from ..core.ppss import PpssConfig, PrivatePeerSamplingService
 from ..harness.report import Report, Table
 from ..harness.world import World, WorldConfig
+from ..parallel import SweepSpec, derive_seed, run_sweep
 from .common import GroupPlan, scaled
 
 __all__ = ["run", "CHURN_RATES"]
@@ -42,11 +43,18 @@ class _Outcomes:
     retry_attempts: list[int] = field(default_factory=list)
 
 
+def _point(point) -> _Outcomes:
+    """One churn-rate world reduced to its outcome counts."""
+    rate, point_seed, n_nodes, group_count = point
+    return _run_one(rate, point_seed, n_nodes, group_count)
+
+
 def run(
     scale: float = 1.0,
     seed: int = 1001,
     rates: tuple[float, ...] = CHURN_RATES,
     group_count: int = 20,
+    workers: int = 1,
 ) -> Report:
     report = Report(title="Table I — WCL route availability under churn")
     n_nodes = scaled(1000, scale, minimum=120)
@@ -54,8 +62,15 @@ def run(
         title=f"{n_nodes} nodes avg, {group_count} groups, Pi=3, churn 300-1200 s",
         headers=["Churn X%/min", "Success", "Alt.", "No alt.", "exchanges"],
     )
-    for rate in rates:
-        outcome = _run_one(rate, seed + int(rate * 10), n_nodes, group_count)
+    spec = SweepSpec(
+        name="table1",
+        points=tuple(
+            (rate, derive_seed(seed, "table1", rate), n_nodes, group_count)
+            for rate in rates
+        ),
+        worker=_point,
+    )
+    for rate, outcome in zip(rates, run_sweep(spec, workers=workers)):
         total = outcome.success + outcome.alt + outcome.no_alt
         if total == 0:
             table.add_row(f"{rate:g}", "-", "-", "-", 0)

@@ -219,11 +219,17 @@ class ConnectionManager:
 
         Cached: node id, kind, NAT type and the registered public endpoint
         are all fixed for the node's lifetime, and gossip asks for this
-        every exchange.
+        every exchange.  The single slot is inherently bounded; hit/miss
+        counters surface alongside the LRU caches' in trace summaries.
         """
         cached = self._descriptor_cache
+        tel = self.telemetry
         if cached is not None:
+            if tel.enabled:
+                tel.counter("nat.descriptor.cache_hit", layer="nat").inc()
             return cached
+        if tel.enabled:
+            tel.counter("nat.descriptor.cache_miss", layer="nat").inc()
         endpoint = None
         if self.kind is NodeKind.PUBLIC:
             endpoint = self._net.topology.public_endpoint(self.node_id)

@@ -20,6 +20,7 @@ import math
 import random
 from abc import ABC, abstractmethod
 
+from ..core.lru import LruCache
 from .address import NodeId
 
 __all__ = [
@@ -40,6 +41,15 @@ class LatencyModel(ABC):
     @abstractmethod
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
         """Whether the message is dropped in transit."""
+
+    def caches(self) -> dict[str, LruCache]:
+        """Internal memoization caches, keyed by telemetry counter prefix.
+
+        The fabric publishes each cache's hit/miss counters under
+        ``<prefix>.cache_hit`` / ``<prefix>.cache_miss``.  Stateless models
+        have none.
+        """
+        return {}
 
 
 class FixedLatencyModel(LatencyModel):
@@ -114,8 +124,18 @@ class PlanetLabLatencyModel(LatencyModel):
         self._min = min_one_way_s
         self._mean = mean_one_way_s
         self._bw = bandwidth_bps
-        self._load: dict[NodeId, float] = {}
-        self._pair_base: dict[tuple[NodeId, NodeId], float] = {}
+        # Bounded LRU (they grew per node / per pair forever before PR 5).
+        # Capacities hold the largest experiment's working set outright; an
+        # evicted entry is simply resampled on next touch, which keeps
+        # same-seed determinism (both runs evict and resample identically).
+        self._load: LruCache = LruCache(65_536)
+        self._pair_base: LruCache = LruCache(1 << 20)
+
+    def caches(self) -> dict[str, LruCache]:
+        return {
+            "net.latency.load": self._load,
+            "net.latency.pair": self._pair_base,
+        }
 
     def _load_factor(self, node: NodeId) -> float:
         factor = self._load.get(node)
@@ -124,7 +144,7 @@ class PlanetLabLatencyModel(LatencyModel):
                 factor = self._rng.uniform(5.0, 20.0)
             else:
                 factor = self._rng.uniform(1.0, 2.0)
-            self._load[node] = factor
+            self._load.put(node, factor)
         return factor
 
     def _base_delay(self, src: NodeId, dst: NodeId) -> float:
@@ -134,7 +154,7 @@ class PlanetLabLatencyModel(LatencyModel):
             # Exponential spread around the mean, floored at the minimum:
             # mimics a mix of continental and intercontinental paths.
             base = self._min + self._rng.expovariate(1.0 / self._mean)
-            self._pair_base[key] = base
+            self._pair_base.put(key, base)
         return base
 
     def delay(self, src: NodeId, dst: NodeId, size_bytes: int) -> float:

@@ -19,6 +19,7 @@ import zlib
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
+from ..core.lru import LruCache
 from ..sim.engine import Simulator
 from ..telemetry import NULL_TELEMETRY
 
@@ -34,6 +35,13 @@ from .observer import LinkObserver, ObservedPacket
 __all__ = ["Network", "NetworkStats", "FaultHook"]
 
 Handler = Callable[[Message], None]
+
+# LRU bounds for the fabric's memoization caches.  Sized to hold every
+# live node of the largest experiment (`scale` runs 5,000) with headroom,
+# so eviction only kicks in on very long churny runs where hosts are
+# minted indefinitely.
+OWNER_HINT_CACHE_SIZE = 16_384
+ENCODE_CACHE_SIZE = 8_192
 
 
 class FaultHook(TypingProtocol):
@@ -91,9 +99,15 @@ class Network:
         # independent of unrelated activity.
         self._msg_ids = itertools.count()
         # host -> owner id; hosts are stable for a node's lifetime, so this
-        # memoizes the parse/crc32 in _owner_hint (bounded by host count).
-        self._owner_hints: dict[str, NodeId] = {}
+        # memoizes the parse/crc32 in _owner_hint.  Bounded LRU: long churny
+        # runs mint fresh hosts forever, and before PR 5 this dict grew with
+        # every host ever seen.
+        self._owner_hints = LruCache(OWNER_HINT_CACHE_SIZE)
+        # Latency-model memoization (e.g. PlanetLab load factors / pair base
+        # RTTs), exposed so their hit/miss counters reach telemetry.
+        self._latency_caches = latency.caches()
         self.wire_audit = None
+        self.encode_cache: LruCache | None = None
         self._wire = None  # lazily-imported repro.wire module
         self.set_wire_mode(wire_mode)
 
@@ -106,9 +120,12 @@ class Network:
           back (loopback codec pass-through); accounting keeps the
           *estimated* sizes, so traces stay comparable with ``"off"``
           while measured frame sizes accumulate in :attr:`wire_audit`;
-        - ``"measured"`` — like ``"verify"`` but bandwidth accounting and
-          latency use the *encoded* frame size, making every byte count a
-          measurement instead of a model.
+        - ``"measured"`` — bandwidth accounting and latency use the exact
+          *encoded* frame size, making every byte count a measurement
+          instead of a model.  Sizes come from the codec's size-accumulator
+          path (no frame is built), so like ``"off"`` the receiver sees the
+          sender's payload object; ``"verify"`` is the mode that exercises
+          the full encode→decode loop.
         """
         if mode not in ("off", "verify", "measured"):
             raise ValueError(f"unknown wire mode: {mode!r}")
@@ -120,6 +137,10 @@ class Network:
 
             self._wire = _wire
             self.wire_audit = WireAudit()
+            # Hot immutable structs (descriptors, piggybacked public keys)
+            # are re-encoded on every gossip cycle; the LRU turns those into
+            # one dict hit each.
+            self.encode_cache = LruCache(ENCODE_CACHE_SIZE)
         self._wire_mode = mode
 
     @property
@@ -178,14 +199,19 @@ class Network:
             self.stats.filtered += 1
             return
         if self._wire_mode != "off":
-            # Loopback codec pass-through: the payload the receiver sees has
-            # been through encode->decode, so any value the codec cannot
-            # carry fails here, in the sim, instead of on a live socket.
-            frame = self._wire.encode_message(kind, payload)
-            self.wire_audit.record(kind, size_bytes, len(frame))
-            payload = self._wire.decode_message(frame).payload
-            if self._wire_mode == "measured":
-                size_bytes = len(frame)
+            if self._wire_mode == "verify":
+                # Loopback codec pass-through: the payload the receiver sees
+                # has been through encode->decode, so any value the codec
+                # cannot carry fails here, in the sim, not on a live socket.
+                frame = self._wire.encode_message(kind, payload, self.encode_cache)
+                self.wire_audit.record(kind, size_bytes, len(frame))
+                payload = self._wire.decode_message(frame).payload
+            else:
+                # measured: exact frame size from the size accumulator; no
+                # frame bytes, no CRC, payload delivered as in "off" mode.
+                measured = self._wire.encoded_size(kind, payload, self.encode_cache)
+                self.wire_audit.record(kind, size_bytes, measured)
+                size_bytes = measured
         self.stats.sent += 1
         self.accountant.record(src_node, -1, size_bytes, category)  # upload side
         tel = self.telemetry
@@ -193,6 +219,7 @@ class Network:
             tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
             tel.counter("net.up_bytes", node=src_node, layer="net").inc(size_bytes)
             tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
+            self._publish_cache_counters(tel)
         hint = self._owner_hints.get(dst.host)
         if hint is None:  # cold path: first message towards this host
             hint = self._owner_hint(dst)
@@ -283,7 +310,8 @@ class Network:
         guarantee — so we use crc32.
         """
         host = dst.host
-        hint = self._owner_hints.get(host)
+        # peek, not get: send() already counted this lookup as a miss.
+        hint = self._owner_hints.peek(host)
         if hint is not None:
             return hint
         hint = -1
@@ -294,8 +322,22 @@ class Network:
                 hint = -1
         if hint < 0:
             hint = zlib.crc32(host.encode()) & 0x7FFFFFFF
-        self._owner_hints[host] = hint
+        self._owner_hints.put(host, hint)
         return hint
+
+    def _publish_cache_counters(self, tel: "Telemetry") -> None:
+        """Flush cache hit/miss deltas into telemetry counters.
+
+        Owner-hint and latency-model caches behave identically in every
+        wire mode, so their counters never perturb off-vs-verify trace
+        comparisons; ``wire.encode.*`` exists only when the codec runs and
+        is codec-layer bookkeeping by definition.
+        """
+        self._owner_hints.publish(tel, "net.owner_hint", layer="net")
+        for name, cache in self._latency_caches.items():
+            cache.publish(tel, name, layer="net")
+        if self.encode_cache is not None and self._wire_mode != "off":
+            self.encode_cache.publish(tel, "wire.encode", layer="wire")
 
     def _observe(
         self,

@@ -1,0 +1,10 @@
+"""Deterministic parallel execution of experiment sweeps.
+
+See :mod:`repro.parallel.executor` for the worker model and the
+determinism contract (``--workers N`` output is byte-identical to the
+sequential run).
+"""
+
+from .executor import SweepSpec, default_workers, derive_seed, run_sweep
+
+__all__ = ["SweepSpec", "default_workers", "derive_seed", "run_sweep"]

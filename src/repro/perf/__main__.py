@@ -15,6 +15,7 @@ errors — so it slots directly into CI.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from .bench import BENCHES, CANONICAL_BENCH, TRAJECTORY_FILE, run_bench
@@ -39,6 +40,14 @@ def main(argv: list[str] | None = None) -> int:
                             help="free-form label recorded in the timing section")
     run_parser.add_argument("--alloc", action="store_true",
                             help="sample tracemalloc allocation windows (slows the run)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for sweep benches (fig5/fig6); "
+                                 "deterministic output is identical at any count "
+                                 "(0 = one per core)")
+    run_parser.add_argument("--wire-mode", default="off",
+                            choices=("off", "verify", "measured"),
+                            help="wire codec mode for benches that take one "
+                                 "(scale1k/fig6)")
     run_parser.add_argument("--trajectory", action="store_true",
                             help=f"also write {TRAJECTORY_FILE} at the repo root "
                                  f"(default for the canonical '{CANONICAL_BENCH}' bench "
@@ -66,6 +75,24 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"scale": args.scale, "alloc": args.alloc, "label": args.label}
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        params = inspect.signature(BENCHES[args.bench]).parameters
+        workers = args.workers
+        if workers == 0:
+            from ..parallel import default_workers
+
+            workers = default_workers()
+        if workers > 1:
+            if "workers" not in params:
+                print(f"error: bench {args.bench!r} does not take --workers",
+                      file=sys.stderr)
+                return 2
+            kwargs["workers"] = workers
+        if args.wire_mode != "off":
+            if "wire_mode" not in params:
+                print(f"error: bench {args.bench!r} does not take --wire-mode",
+                      file=sys.stderr)
+                return 2
+            kwargs["wire_mode"] = args.wire_mode
         result = run_bench(args.bench, **kwargs)
         out = args.out or f"benchmarks/results/BENCH_{args.bench}.json"
         result.write(out)

@@ -7,13 +7,21 @@ Each entry builds a deterministic workload, runs it under a
 - ``scale1k`` — the canonical throughput benchmark: the Fig. 5 workload at
   paper scale (1,000 nodes, 70% natted, Pi=2) gossiping for ``cycles``
   PSS cycles.  Its result is the repository-root ``BENCH_scale.json``.
+  ``wire_mode="verify"`` runs the same workload through the wire codec's
+  encode→decode loop — the codec-throughput benchmark.
 - ``fig5`` — the full Fig. 5 campaign (four Pi values, 120 cycles) under
   one probe; the heavyweight regeneration cost.
+- ``fig6`` — the 15-point Fig. 6 sweep under one probe; the multi-point
+  sweep benchmark (``workers=N`` exercises the parallel executor).
 - ``scale`` — the 5,000-node PSS+WCL headroom experiment
   (:mod:`repro.experiments.scale`).
 
 ``scale`` here is the usual population multiplier: ``run_bench("scale1k",
 scale=0.2)`` runs a 200-node variant for smoke tests and CI.
+
+``workers`` never enters a probe's ``config``: the deterministic half of
+a sweep document must be byte-identical at any worker count, so the
+count lands in the ``timing`` section via ``annotate_timing``.
 """
 
 from __future__ import annotations
@@ -50,20 +58,35 @@ def run_scale1k(
     label: str = "",
     cycles: int = 30,
     pi: int = 2,
+    wire_mode: str = "off",
 ) -> PerfResult:
-    """Fig. 5's 1,000-node PSS workload, measured for throughput."""
+    """Fig. 5's 1,000-node PSS workload, measured for throughput.
+
+    ``wire_mode`` belongs to the deterministic config: a verify-mode run
+    is a different workload (every send round-trips the codec), not a
+    different environment.
+    """
     n_nodes = scaled(1000, scale, minimum=100)
+    config = {
+        "nodes": n_nodes, "cycles": cycles, "seed": seed,
+        "pi": pi, "natted_fraction": 0.7, "scale": scale,
+    }
+    if wire_mode != "off":
+        # Only annotate non-default modes so existing "off" documents
+        # (and the committed trajectory) keep their config shape.
+        config["wire_mode"] = wire_mode
     probe = PerfProbe(
         CANONICAL_BENCH,
-        config={
-            "nodes": n_nodes, "cycles": cycles, "seed": seed,
-            "pi": pi, "natted_fraction": 0.7, "scale": scale,
-        },
+        config=config,
         alloc=alloc,
         label=label,
     )
     world = World(
-        WorldConfig(seed=seed, whisper=replace(WhisperConfig(), pi=pi))
+        WorldConfig(
+            seed=seed,
+            whisper=replace(WhisperConfig(), pi=pi),
+            wire_mode=wire_mode,
+        )
     )
     with probe.phase("populate"):
         world.populate(n_nodes)
@@ -77,7 +100,8 @@ def run_scale1k(
 
 
 def run_fig5(
-    scale: float = 1.0, seed: int = 1005, alloc: bool = False, label: str = ""
+    scale: float = 1.0, seed: int = 1005, alloc: bool = False, label: str = "",
+    workers: int = 1,
 ) -> PerfResult:
     """The full Fig. 5 campaign (4 Pi values) under one probe."""
     from ..experiments import fig5_biased_pss
@@ -88,9 +112,38 @@ def run_fig5(
         alloc=alloc,
         label=label,
     )
+    probe.annotate_timing("workers", workers)
     with probe.phase("campaign"):
-        report = fig5_biased_pss.run(scale=scale, seed=seed)
+        report = fig5_biased_pss.run(scale=scale, seed=seed, workers=workers)
     probe.record("sections", len(report.sections))
+    probe.record("rendered", report.render())
+    return probe.finish()
+
+
+def run_fig6(
+    scale: float = 1.0, seed: int = 1006, alloc: bool = False, label: str = "",
+    workers: int = 1, wire_mode: str = "off",
+) -> PerfResult:
+    """The full 15-point Fig. 6 sweep under one probe.
+
+    The multi-point sweep benchmark: ``workers=N`` fans the points over N
+    processes, and the probe records the *rendered report* in the
+    deterministic half, so ``repro.perf compare --strict`` proves the
+    parallel run reproduced the sequential output byte for byte.
+    """
+    from ..experiments import fig6_key_sampling
+
+    config: dict[str, Any] = {"scale": scale, "seed": seed}
+    if wire_mode != "off":
+        config["wire_mode"] = wire_mode
+    probe = PerfProbe("fig6", config=config, alloc=alloc, label=label)
+    probe.annotate_timing("workers", workers)
+    with probe.phase("sweep"):
+        report = fig6_key_sampling.run(
+            scale=scale, seed=seed, wire_mode=wire_mode, workers=workers
+        )
+    probe.record("sections", len(report.sections))
+    probe.record("rendered", report.render())
     return probe.finish()
 
 
@@ -115,6 +168,7 @@ def run_scale_experiment(
 BENCHES: dict[str, Callable[..., PerfResult]] = {
     "scale1k": run_scale1k,
     "fig5": run_fig5,
+    "fig6": run_fig6,
     "scale": run_scale_experiment,
 }
 

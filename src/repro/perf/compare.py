@@ -145,6 +145,14 @@ def _deterministic_drift(old: dict[str, Any], new: dict[str, Any]) -> list[str]:
             new_value = new_section.get(key)
             if old_value != new_value:
                 out.append(f"{section}.{key}: {old_value} != {new_value}")
+    # Probe extras (everything recorded via PerfProbe.record) are part of
+    # the deterministic identity too — e.g. the sweep benches record the
+    # rendered report so `--strict` proves a parallel run reproduced the
+    # sequential output.  Values can be large; report only the key.
+    fixed = {"schema", "name", "config", "sim", "counters"}
+    for key in sorted((set(old_det) | set(new_det)) - fixed):
+        if old_det.get(key) != new_det.get(key):
+            out.append(f"extras.{key}: differs")
     return out
 
 

@@ -156,6 +156,7 @@ class PerfProbe:
         self._deterministic: dict[str, Any] = {}
         self._counters: dict[str, float] = {}
         self._sim_section: dict[str, Any] = {}
+        self._timing_notes: dict[str, Any] = {}
         self._started = time.perf_counter()
         self._finished: float | None = None
 
@@ -196,6 +197,19 @@ class PerfProbe:
             raise ValueError(f"reserved document key: {key!r}")
         self._deterministic[key] = value
 
+    def annotate_timing(self, key: str, value: Any) -> None:
+        """Attach one environment datum to the ``timing`` section.
+
+        For execution facts that affect wall clock but must not enter the
+        document's deterministic identity — the sweep worker count is the
+        canonical example (``workers=1`` and ``workers=4`` must emit
+        byte-identical deterministic halves).
+        """
+        if key in ("wall_s", "events_per_sec", "peak_rss_kb", "phases",
+                   "python", "platform", "label"):
+            raise ValueError(f"reserved timing key: {key!r}")
+        self._timing_notes[key] = value
+
     def attach_sim(self, sim: "Simulator") -> None:
         """Capture the engine's deterministic end-of-run statistics."""
         self._sim_section = {
@@ -232,6 +246,7 @@ class PerfProbe:
             "python": platform.python_version(),
             "platform": sys.platform,
         }
+        timing.update(self._timing_notes)
         if self.label:
             timing["label"] = self.label
         document: dict[str, Any] = {

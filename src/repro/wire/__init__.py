@@ -21,6 +21,7 @@ simulator are the sizes a deployment pays.
 """
 
 from .codec import (
+    LruCache,
     WireDecodeError,
     WireEncodeError,
     WireError,
@@ -28,6 +29,8 @@ from .codec import (
     decode_value,
     encode_blob,
     encode_value,
+    reference_encode_value,
+    value_size,
 )
 from .registry import (
     WIRE_VERSION,
@@ -45,6 +48,7 @@ from .audit import WireAudit
 __all__ = [
     "WIRE_VERSION",
     "DecodedMessage",
+    "LruCache",
     "MessageSpec",
     "WireAudit",
     "WireDecodeError",
@@ -58,6 +62,8 @@ __all__ = [
     "encode_message",
     "encode_value",
     "encoded_size",
+    "reference_encode_value",
     "registered_kinds",
     "spec_for",
+    "value_size",
 ]

@@ -39,7 +39,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Any
 
-from .codec import WireDecodeError, WireEncodeError, decode_value, encode_value
+from .codec import (
+    LruCache,
+    WireDecodeError,
+    WireEncodeError,
+    _encode_into,
+    _uvarint_len,
+    decode_value,
+    value_size,
+)
 from ..core.onion import OnionPacket
 
 __all__ = [
@@ -80,6 +88,8 @@ class MessageSpec:
             return
         if not isinstance(payload, dict):
             raise exc(f"{self.kind}: payload must be a dict, got {type(payload).__name__}")
+        if payload.keys() == self.required:  # exact match: the common case
+            return
         keys = set(payload)
         missing = self.required - keys
         if missing:
@@ -225,19 +235,33 @@ def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
         shift += 7
 
 
-def encode_message(kind: str, payload: Any) -> bytes:
-    """Encode one protocol message to a complete wire frame."""
+# Per-kind frame head (magic | version | wire-id uvarint), precomputed so
+# the encode hot path starts from one constant bytes object.
+_HEAD_BY_KIND: dict[str, bytes] = {}
+for _s in _SPECS:
+    _head = bytearray(WIRE_MAGIC)
+    _head.append(WIRE_VERSION)
+    _write_uvarint(_head, _s.wire_id)
+    _HEAD_BY_KIND[_s.kind] = bytes(_head)
+
+
+def encode_message(kind: str, payload: Any, cache: LruCache | None = None) -> bytes:
+    """Encode one protocol message to a complete wire frame.
+
+    ``cache`` is an optional encode cache (see :mod:`repro.wire.codec`)
+    serving repeated hot immutable structs from memory.
+    """
     spec = spec_for(kind)
     spec.check(payload, exc=WireEncodeError)
-    body = encode_value(payload)
-    head = bytearray(WIRE_MAGIC)
-    head.append(WIRE_VERSION)
-    _write_uvarint(head, spec.wire_id)
-    _write_uvarint(head, len(body))
-    head += body
-    crc = zlib.crc32(bytes(head)) & 0xFFFFFFFF
-    head += crc.to_bytes(4, "big")
-    return bytes(head)
+    body = bytearray()
+    _encode_into(body, payload, cache)
+    frame = bytearray(_HEAD_BY_KIND[kind])
+    _write_uvarint(frame, len(body))
+    frame += body
+    # zlib.crc32 accepts any buffer: no bytes() copy of the head needed.
+    crc = zlib.crc32(frame) & 0xFFFFFFFF
+    frame += crc.to_bytes(4, "big")
+    return bytes(frame)
 
 
 def decode_message(data: bytes) -> DecodedMessage:
@@ -259,16 +283,27 @@ def decode_message(data: bytes) -> DecodedMessage:
             f"frame length mismatch: header says {length} body bytes, "
             f"frame has {len(data) - pos - 4}"
         )
-    crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
-    if crc.to_bytes(4, "big") != data[-4:]:
+    # Zero-copy from here: CRC and body decoding run over memoryview
+    # slices of the original frame instead of copied byte strings.
+    view = memoryview(data)
+    crc = zlib.crc32(view[:-4]) & 0xFFFFFFFF
+    if crc != int.from_bytes(data[-4:], "big"):
         raise WireDecodeError("frame checksum mismatch")
-    payload = decode_value(data[pos : pos + length])
+    payload = decode_value(view[pos : pos + length])
     spec.check(payload, exc=WireDecodeError)
     return DecodedMessage(
         kind=spec.kind, payload=payload, version=version, encoded_size=len(data)
     )
 
 
-def encoded_size(kind: str, payload: Any) -> int:
-    """Exact on-the-wire frame size for a message."""
-    return len(encode_message(kind, payload))
+def encoded_size(kind: str, payload: Any, cache: LruCache | None = None) -> int:
+    """Exact on-the-wire frame size for a message, without building it.
+
+    Matches ``len(encode_message(kind, payload))`` byte for byte (pinned by
+    test) via the codec's size-accumulator path: no body bytes, no frame
+    assembly, no CRC.
+    """
+    spec = spec_for(kind)
+    spec.check(payload, exc=WireEncodeError)
+    body_len = value_size(payload, cache)
+    return len(_HEAD_BY_KIND[kind]) + _uvarint_len(body_len) + body_len + 4

@@ -1,0 +1,144 @@
+"""Parallel sweep executor: seed derivation and the determinism contract.
+
+Acceptance criteria pinned here:
+
+- :func:`~repro.parallel.derive_seed` is stable (pinned values), in-range
+  and collision-free over every point key the experiments use — in
+  particular the fig6 grid where the pre-PR-5 additive scheme
+  (``seed + pi + round(nf * 100)``) collides between distinct points;
+- :func:`~repro.parallel.run_sweep` returns results in point order, runs
+  each point exactly once, and produces **identical output at any worker
+  count** — both for a toy worker and for a real experiment report.
+"""
+
+import pytest
+
+from repro.parallel import SweepSpec, default_workers, derive_seed, run_sweep
+
+
+def _square(point):
+    return point * point
+
+
+def _tag(point):
+    """A worker whose result exposes the point it was given."""
+    return ("result", point)
+
+
+class TestDeriveSeed:
+    def test_pinned_values_are_stable(self):
+        """The derivation is part of the reproducibility contract: these
+        exact values must never change across releases or platforms."""
+        assert derive_seed(1006, "fig6", 0.8, "unbiased") == 2650185250799820721
+        assert derive_seed(1005, "fig5", 0) == 5701194935865626054
+        assert derive_seed(0) == 9144394792214460512
+
+    def test_range_is_63_bit_non_negative(self):
+        for seed in (0, 1, 2**62, 123456789):
+            for parts in ((), ("x",), (1.5, "y", True)):
+                derived = derive_seed(seed, *parts)
+                assert 0 <= derived < 2**63
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(7, "exp", 1)
+        assert derive_seed(8, "exp", 1) != base
+        assert derive_seed(7, "other", 1) != base
+        assert derive_seed(7, "exp", 2) != base
+        assert derive_seed(7, "exp", 1, None) != base
+
+    def test_fig6_additive_scheme_collides_but_derive_seed_does_not(self):
+        """The regression PR 5 fixes: Π=7/nf=0.05 and Π=2/nf=0.10 land on
+        the same additive offset, but on distinct derived seeds."""
+        seed = 1006
+        additive = lambda pi, nf: seed + pi + round(nf * 100)
+        assert additive(7, 0.05) == additive(2, 0.10)  # the bug
+        assert derive_seed(seed, "fig6", 0.05, 7) != derive_seed(
+            seed, "fig6", 0.10, 2
+        )
+
+    def test_unique_across_experiment_grids(self):
+        """No collisions across the full key grids the sweeps actually use,
+        nor across experiments sharing a base seed."""
+        seeds = set()
+        total = 0
+        for nf in (0.8, 0.7, 0.5, 0.1, 0.05):
+            for label in ("unbiased", "unbiased+KS", "Pi=1+KS", "Pi=2+KS",
+                          "Pi=3+KS"):
+                seeds.add(derive_seed(1006, "fig6", nf, label))
+                total += 1
+        for pi in range(0, 8):
+            seeds.add(derive_seed(1006, "fig5", pi))
+            seeds.add(derive_seed(1006, "ablation-pi", pi))
+            total += 2
+        for rate in (0.0, 0.2, 1.0, 5.0, 10.0):
+            seeds.add(derive_seed(1006, "table1", rate))
+            total += 1
+        for scenario in ("none", "partition", "stall", "nat+loss"):
+            seeds.add(derive_seed(1006, "resilience", scenario))
+            total += 1
+        for per_node in (1, 2, 4, 8, 16, 32):
+            seeds.add(derive_seed(1006, "fig8", per_node))
+            total += 1
+        assert len(seeds) == total
+
+
+class TestRunSweep:
+    def test_sequential_matches_parallel(self):
+        spec = SweepSpec(name="toy", points=tuple(range(20)), worker=_square)
+        sequential = run_sweep(spec, workers=1)
+        assert sequential == [p * p for p in range(20)]
+        assert run_sweep(spec, workers=2) == sequential
+        assert run_sweep(spec, workers=4) == sequential
+
+    def test_results_stay_in_point_order(self):
+        points = tuple(reversed(range(10)))
+        spec = SweepSpec(name="order", points=points, worker=_tag)
+        for workers in (1, 3):
+            assert run_sweep(spec, workers=workers) == [
+                ("result", p) for p in points
+            ]
+
+    def test_workers_capped_at_point_count(self):
+        spec = SweepSpec(name="tiny", points=(5,), worker=_square)
+        # 8 workers over one point must not spin up a pool at all.
+        assert run_sweep(spec, workers=8) == [25]
+
+    def test_empty_sweep(self):
+        spec = SweepSpec(name="empty", points=(), worker=_square)
+        assert run_sweep(spec, workers=4) == []
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestExperimentDeterminism:
+    @pytest.mark.slow
+    def test_fig5_report_byte_identical_across_worker_counts(self):
+        """The contract the CI parallel-smoke job enforces at larger scale:
+        a real experiment sweep renders the same bytes at any worker count."""
+        from repro.experiments import fig5_biased_pss
+
+        kwargs = dict(scale=0.1, pi_values=(0, 2), cycles=8)
+        sequential = fig5_biased_pss.run(workers=1, **kwargs).render()
+        parallel = fig5_biased_pss.run(workers=2, **kwargs).render()
+        assert parallel == sequential
+
+    def test_fig6_report_byte_identical_across_worker_counts(self):
+        from repro.experiments import fig6_key_sampling
+
+        kwargs = dict(scale=0.1, warmup_cycles=2, window_cycles=2)
+        sequential = fig6_key_sampling.run(workers=1, **kwargs).render()
+        parallel = fig6_key_sampling.run(workers=3, **kwargs).render()
+        assert parallel == sequential
+
+    def test_fig6_bench_deterministic_half_identical_across_workers(self):
+        """The PerfProbe document's deterministic half must not leak the
+        worker count (it lives in the timing section instead)."""
+        from repro.perf.bench import run_fig6
+
+        kwargs = dict(scale=0.1, label="test")
+        seq = run_fig6(workers=1, **kwargs)
+        par = run_fig6(workers=2, **kwargs)
+        assert seq.deterministic_json() == par.deterministic_json()
+        assert seq.document["timing"]["workers"] == 1
+        assert par.document["timing"]["workers"] == 2
