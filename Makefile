@@ -4,7 +4,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-full examples trace clean
+.PHONY: install test bench bench-full load examples trace clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ bench:
 
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Heavy-traffic workload scenarios (CBR, Zipf lookups, flash crowd,
+# multigroup, loss burst) over the deployed PPSS/T-Chord stack.
+load:
+	$(PYTHON) -m repro.experiments load --seed 7
 
 examples:
 	$(PYTHON) examples/quickstart.py

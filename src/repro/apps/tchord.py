@@ -39,8 +39,6 @@ from .tman import TManEntry, TManProtocol
 
 __all__ = ["TChordNode", "LookupResult", "TChordStats"]
 
-_query_counter = itertools.count(1)
-
 MAX_HOPS = 32
 SUCCESSOR_SLOTS = 3
 PREDECESSOR_SLOTS = 3
@@ -98,6 +96,13 @@ class TChordNode:
         self.lookup_timeout = lookup_timeout
         self.stats = TChordStats()
         self._pending: dict[int, _PendingLookup] = {}
+        # Per-instance qids: answers are routed back to the origin and
+        # resolved against *its* pending map, so uniqueness per node
+        # suffices.  A module-level counter would leak state between runs
+        # in one process (its value is pickled into query bodies, where
+        # the serialized length feeds the charged crypto cost) and break
+        # the workers-equivalence determinism contract.
+        self._query_counter = itertools.count(1)
         self.tman = TManProtocol(
             name="tchord",
             ppss=ppss,
@@ -172,7 +177,7 @@ class TChordNode:
     ) -> None:
         """Find the node responsible for ``key``; None on timeout."""
         self.stats.lookups_started += 1
-        qid = next(_query_counter)
+        qid = next(self._query_counter)
         pending = _PendingLookup(
             key=key, started_at=self._sim.now, callback=callback
         )

@@ -20,11 +20,13 @@ from .ppss import (
     PrivatePeerSamplingService,
     PrivateViewEntry,
 )
+from .sampling import BoundedParetoSampler, ZipfSampler
 from .wcl import AttemptInfo, WclStats, WhisperCommunicationLayer
 
 __all__ = [
     "Accreditation",
     "AttemptInfo",
+    "BoundedParetoSampler",
     "CbEntry",
     "ConnectionBacklog",
     "Gateway",
@@ -48,6 +50,7 @@ __all__ = [
     "WhisperCommunicationLayer",
     "WhisperConfig",
     "WhisperNode",
+    "ZipfSampler",
     "build_onion",
     "issue_accreditation",
     "issue_passport",

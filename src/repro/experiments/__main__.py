@@ -23,6 +23,7 @@ from . import (
     fig7_rtt,
     fig8_group_bandwidth,
     fig9_tchord,
+    load,
     resilience,
     scale as scale_experiment,
     table1_churn,
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "table1": ("Table I — routes under churn", table1_churn.run),
     "resilience": ("Resilience — recovery from injected faults",
                    resilience.run),
+    "load": ("Load — heavy-traffic workloads over PPSS/T-Chord", load.run),
     "fig7": ("Fig. 7 — RTT breakdown", fig7_rtt.run),
     "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
     "fig8": ("Fig. 8 — bandwidth vs groups", fig8_group_bandwidth.run),

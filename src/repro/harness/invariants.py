@@ -35,6 +35,7 @@ __all__ = [
     "check_invariants",
     "check_private_view_recovery",
     "check_exchange_recovery",
+    "check_stream_recovery",
 ]
 
 
@@ -165,6 +166,35 @@ def check_private_view_recovery(
             f"entries point at live members (need {min_live_edges:.0%})",
         )
     return len(members)
+
+
+def check_stream_recovery(
+    before_ratio: float,
+    during_ratio: float,
+    after_ratio: float,
+    tolerance: float = 0.1,
+) -> None:
+    """Verify application streams recovered after an injected fault healed.
+
+    The workload counterpart of :func:`check_exchange_recovery`, measured on
+    *delivered application packets* rather than gossip exchanges: with the
+    fault active the delivery ratio legitimately craters, but in the
+    post-heal window it must climb back to within ``tolerance`` of the
+    pre-fault level.  The ``during`` ratio is required not to *exceed* the
+    recovered one — if delivery during the fault looks no worse than after
+    it, the fault never actually bit and the recovery claim is vacuous.
+    Raises :class:`RecoveryViolation` otherwise.
+    """
+    _ensure_recovered(
+        after_ratio >= before_ratio - tolerance,
+        f"stream delivery did not recover: {after_ratio:.1%} after healing "
+        f"vs {before_ratio:.1%} baseline (tolerance {tolerance:.0%})",
+    )
+    _ensure_recovered(
+        during_ratio <= after_ratio,
+        f"fault window shows no impact: {during_ratio:.1%} during vs "
+        f"{after_ratio:.1%} after — the injected fault did not bite",
+    )
 
 
 def check_exchange_recovery(

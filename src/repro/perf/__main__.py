@@ -5,11 +5,16 @@ Usage::
     python -m repro.perf run scale1k --scale 1.0 --out benchmarks/results/BENCH_scale1k.json
     python -m repro.perf run scale1k --trajectory          # also writes BENCH_scale.json
     python -m repro.perf compare BENCH_scale.json new.json --budget 10%
+    python -m repro.perf compare                           # auto-gate mode
     python -m repro.perf list
 
 ``compare`` exits 0 when the new measurement is within budget, 1 on a
 regression (or, with ``--strict``, on deterministic drift), 2 on usage
-errors — so it slots directly into CI.
+errors — so it slots directly into CI.  With no paths it runs the
+*auto-gate*: every committed ``benchmarks/baselines/BENCH_*.json`` is
+compared against its fresh ``benchmarks/results/`` counterpart (a missing
+fresh result fails the gate), with a wider default budget (25%) because
+committed baselines were recorded on a different machine.
 """
 
 from __future__ import annotations
@@ -19,7 +24,9 @@ import inspect
 import sys
 
 from .bench import BENCHES, CANONICAL_BENCH, TRAJECTORY_FILE, run_bench
-from .compare import compare_files, parse_budget
+from .compare import auto_compare_pairs, compare_files, parse_budget
+
+AUTO_BUDGET = "25%"  # committed baselines come from a different machine
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,10 +61,14 @@ def main(argv: list[str] | None = None) -> int:
                                  "at scale 1.0)")
 
     cmp_parser = sub.add_parser("compare", help="gate a new measurement against a baseline")
-    cmp_parser.add_argument("old", help="baseline result JSON")
-    cmp_parser.add_argument("new", help="candidate result JSON")
-    cmp_parser.add_argument("--budget", default="10%",
-                            help="allowed wall-clock/throughput regression (e.g. 10%%)")
+    cmp_parser.add_argument("old", nargs="?", default=None,
+                            help="baseline result JSON (omit both paths for the "
+                                 "auto-gate over benchmarks/baselines/)")
+    cmp_parser.add_argument("new", nargs="?", default=None,
+                            help="candidate result JSON")
+    cmp_parser.add_argument("--budget", default=None,
+                            help="allowed wall-clock/throughput regression "
+                                 f"(default 10%%, or {AUTO_BUDGET} in auto-gate mode)")
     cmp_parser.add_argument("--strict", action="store_true",
                             help="also fail on deterministic drift (same-config runs)")
 
@@ -111,18 +122,48 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "compare":
+        auto = args.old is None
+        if auto and args.new is not None:
+            print("error: compare takes two paths or none", file=sys.stderr)
+            return 2
+        if not auto and args.new is None:
+            print("error: compare needs both old and new paths", file=sys.stderr)
+            return 2
         try:
-            budget = parse_budget(args.budget)
+            budget = parse_budget(
+                args.budget if args.budget is not None
+                else (AUTO_BUDGET if auto else "10%")
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if not auto:
+            try:
+                outcome = compare_files(args.old, args.new, budget)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(outcome.render(strict=args.strict))
+            return 0 if outcome.ok(strict=args.strict) else 1
+        # Auto-gate: every committed baseline against its fresh result.
         try:
-            outcome = compare_files(args.old, args.new, budget)
-        except (OSError, ValueError) as exc:
+            pairs = auto_compare_pairs()
+        except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(outcome.render(strict=args.strict))
-        return 0 if outcome.ok(strict=args.strict) else 1
+        failed = False
+        for name, baseline, fresh in pairs:
+            print(f"== {name} ({baseline} vs {fresh})")
+            try:
+                outcome = compare_files(baseline, fresh, budget)
+            except (OSError, ValueError) as exc:
+                print(f"  error: {exc}")
+                failed = True
+                continue
+            print(outcome.render(strict=args.strict))
+            failed = failed or not outcome.ok(strict=args.strict)
+        print(f"auto-gate verdict: {'FAIL' if failed else 'PASS'}")
+        return 1 if failed else 0
 
     return 2
 

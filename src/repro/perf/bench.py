@@ -15,6 +15,12 @@ Each entry builds a deterministic workload, runs it under a
   sweep benchmark (``workers=N`` exercises the parallel executor).
 - ``scale`` — the 5,000-node PSS+WCL headroom experiment
   (:mod:`repro.experiments.scale`).
+- ``bench_load`` — the heavy-traffic ``mixed`` workload scenario
+  (:mod:`repro.experiments.load`): CBR streams + Zipf lookups + a flash
+  crowd over one world.  The probe's deterministic extras carry the
+  per-stream goodput/delivery ledger and the telemetry trace SHA, so
+  ``compare --strict`` pins the workload behaviourally, not just by
+  throughput.
 
 ``scale`` here is the usual population multiplier: ``run_bench("scale1k",
 scale=0.2)`` runs a 200-node variant for smoke tests and CI.
@@ -165,11 +171,51 @@ def run_scale_experiment(
     return probe.finish()
 
 
+def run_bench_load(
+    scale: float = 1.0, seed: int = 1011, alloc: bool = False, label: str = "",
+    scenario: str = "mixed",
+) -> PerfResult:
+    """One heavy-traffic workload scenario under a probe.
+
+    The workload ledger (per-stream goodput, delivery ratios, pooled
+    latency percentiles) and the telemetry trace SHA land in the
+    deterministic extras: a perf regression shows up in the timing half,
+    a behaviour change shows up as drift.
+    """
+    from ..experiments import load
+
+    probe = PerfProbe(
+        "bench_load",
+        config={"scenario": scenario, "scale": scale, "seed": seed},
+        alloc=alloc,
+        label=label,
+    )
+    outcome = load.run_scenario(scenario, seed, scale, probe=probe)
+    probe.record("trace_sha", outcome.trace_sha)
+    probe.record(
+        "workload",
+        {
+            "nodes": outcome.nodes,
+            "groups": outcome.groups,
+            "offered": outcome.offered,
+            "completed": outcome.completed,
+            "failed": outcome.failed,
+            "lag": outcome.lag,
+            "delivery_ratio": round(outcome.delivery_ratio, 4),
+            "goodput_bps": outcome.goodput_bps,
+            "latency": outcome.latency,
+        },
+    )
+    probe.record("streams", outcome.streams)
+    return probe.finish()
+
+
 BENCHES: dict[str, Callable[..., PerfResult]] = {
     "scale1k": run_scale1k,
     "fig5": run_fig5,
     "fig6": run_fig6,
     "scale": run_scale_experiment,
+    "bench_load": run_bench_load,
 }
 
 

@@ -16,15 +16,29 @@ it exactly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
 from .probe import PerfResult, deterministic_view, load_result
 
-__all__ = ["CompareResult", "compare_documents", "compare_files", "parse_budget"]
+__all__ = [
+    "CompareResult",
+    "auto_compare_pairs",
+    "compare_documents",
+    "compare_files",
+    "parse_budget",
+    "BASELINE_DIR",
+    "RESULTS_DIR",
+]
 
 GATED_METRICS = ("events_per_sec", "wall_s")
 _HIGHER_IS_BETTER = {"events_per_sec": True, "wall_s": False}
+
+# The no-argument `repro.perf compare` gate: every committed baseline in
+# BASELINE_DIR is compared against its fresh counterpart in RESULTS_DIR.
+BASELINE_DIR = "benchmarks/baselines"
+RESULTS_DIR = "benchmarks/results"
 
 
 def parse_budget(text: str) -> float:
@@ -128,6 +142,32 @@ def compare_files(
     return compare_documents(
         load_result(old_path).document, load_result(new_path).document, budget
     )
+
+
+def auto_compare_pairs(
+    baseline_dir: str = BASELINE_DIR, results_dir: str = RESULTS_DIR
+) -> list[tuple[str, str, str]]:
+    """Pair committed baselines with fresh results for the no-arg gate.
+
+    Returns ``(bench_name, baseline_path, result_path)`` for every
+    ``BENCH_*.json`` under ``baseline_dir``; a baseline whose fresh result
+    is missing is an error for the caller to surface (the gate must not
+    silently pass because a bench did not run), so the result path is
+    returned regardless of existence.
+    """
+    if not os.path.isdir(baseline_dir):
+        raise OSError(f"no baseline directory {baseline_dir!r}")
+    pairs: list[tuple[str, str, str]] = []
+    for entry in sorted(os.listdir(baseline_dir)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        name = entry[len("BENCH_"):-len(".json")]
+        pairs.append(
+            (name, os.path.join(baseline_dir, entry), os.path.join(results_dir, entry))
+        )
+    if not pairs:
+        raise OSError(f"no BENCH_*.json baselines under {baseline_dir!r}")
+    return pairs
 
 
 def _deterministic_drift(old: dict[str, Any], new: dict[str, Any]) -> list[str]:

@@ -103,8 +103,10 @@ def _metric_lines(registry: MetricsRegistry) -> Iterator[str]:
             record["count"] = metric.count
             record["sum"] = metric.sum
             if metric.samples:
-                record["min"] = min(metric.samples)
-                record["max"] = max(metric.samples)
+                # min/max are tracked exactly; quantiles come from the
+                # (reservoir-bounded) retained samples.
+                record["min"] = metric.min
+                record["max"] = metric.max
                 for q in _HISTOGRAM_LEVELS:
                     record[f"p{q:g}"] = metric.quantile(q)
         yield _json(record)

@@ -13,6 +13,9 @@ rather than strictly integer count.
 
 from __future__ import annotations
 
+import hashlib
+import random
+
 from ..metrics.stats import percentile
 
 __all__ = [
@@ -25,7 +28,11 @@ __all__ = [
     "NOOP_COUNTER",
     "NOOP_GAUGE",
     "NOOP_HISTOGRAM",
+    "RESERVOIR_SIZE",
 ]
+
+RESERVOIR_SIZE = 8192
+"""Default per-histogram sample cap; beyond it, reservoir sampling kicks in."""
 
 
 class Counter:
@@ -66,32 +73,82 @@ class Gauge:
 
 
 class Histogram:
-    """A sample distribution; keeps raw samples for exact percentiles.
+    """A sample distribution with O(1) memory and exact totals.
 
-    Simulation runs are bounded, so storing raw samples is affordable and
-    keeps ``aggregate`` exact rather than bucket-approximated.
+    ``count``, ``sum``, ``min`` and ``max`` are always exact.  Raw samples
+    are kept verbatim up to ``reservoir`` observations (quantiles are then
+    exact, as before); past the cap, Vitter's Algorithm R keeps a uniform
+    reservoir, so quantiles degrade gracefully into unbiased estimates
+    while memory stays bounded — what multi-hour workload runs need.
+
+    The reservoir's replacement decisions come from a private RNG seeded
+    by a stable hash of ``(name, labels)``, never from global randomness
+    or any seeded protocol stream: recording samples consumes no
+    simulation entropy, two same-seed runs keep byte-identical reservoirs,
+    and enabling telemetry still cannot perturb a run.
     """
 
-    __slots__ = ("name", "labels", "samples", "sum")
+    __slots__ = ("name", "labels", "samples", "sum", "count", "min", "max",
+                 "reservoir", "_rng")
 
     kind = "histogram"
 
-    def __init__(self, name: str, labels: tuple[tuple[str, object], ...]) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, object], ...],
+        reservoir: int = RESERVOIR_SIZE,
+    ) -> None:
+        if reservoir < 1:
+            raise ValueError(f"histogram reservoir must be >= 1, got {reservoir}")
         self.name = name
         self.labels = labels
         self.samples: list[float] = []
         self.sum = 0.0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.reservoir = reservoir
+        self._rng: random.Random | None = None  # created on first overflow
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
         self.sum += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.count <= self.reservoir:
+            self.samples.append(value)
+            return
+        # Algorithm R: the i-th observation replaces a reservoir slot with
+        # probability reservoir/i, keeping the sample uniform over history.
+        if self._rng is None:
+            material = f"{self.name}|{self.labels!r}".encode("utf-8")
+            seed = int.from_bytes(
+                hashlib.blake2b(material, digest_size=8).digest(), "big"
+            )
+            self._rng = random.Random(seed)
+        slot = self._rng.randrange(self.count)
+        if slot < self.reservoir:
+            self.samples[slot] = value
 
     @property
-    def count(self) -> int:
-        return len(self.samples)
+    def saturated(self) -> bool:
+        """True once the reservoir overflowed (quantiles are estimates)."""
+        return self.count > self.reservoir
 
     def quantile(self, q: float) -> float:
+        """Percentile over the retained samples — exact until saturation."""
         return percentile(self.samples, q)
+
+    def percentiles(self) -> dict[str, float]:
+        """The workload-report trio: p50/p95/p99 (exact until saturation)."""
+        return {
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
+        }
 
 
 class NoopCounter:
@@ -132,6 +189,9 @@ class NoopHistogram:
     samples: list[float] = []
     sum = 0.0
     count = 0
+    min: float | None = None
+    max: float | None = None
+    saturated = False
 
     def observe(self, value: float) -> None:
         pass

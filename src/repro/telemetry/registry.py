@@ -129,13 +129,25 @@ class MetricsRegistry:
             return {}
         kinds = {m.kind for m in metrics.values()}
         if kinds == {"histogram"}:
+            # count/sum/min/max are exact even past the reservoir cap; the
+            # percentile grid pools the retained samples (exact until a
+            # histogram saturates, an unbiased estimate afterwards).
             samples: list[float] = []
+            count = 0
+            total = 0.0
+            lows: list[float] = []
+            highs: list[float] = []
             for metric in metrics.values():
                 samples.extend(metric.samples)  # type: ignore[union-attr]
-            summary = {"count": len(samples), "sum": sum(samples)}
+                count += metric.count
+                total += metric.sum
+                if metric.min is not None:  # type: ignore[union-attr]
+                    lows.append(metric.min)  # type: ignore[union-attr]
+                    highs.append(metric.max)  # type: ignore[union-attr]
+            summary = {"count": count, "sum": total}
             if samples:
-                summary["min"] = min(samples)
-                summary["max"] = max(samples)
+                summary["min"] = min(lows)
+                summary["max"] = max(highs)
                 for q in percentiles:
                     summary[f"p{q:g}"] = percentile(samples, q)
             return summary

@@ -1,0 +1,360 @@
+"""Attach a :class:`WorkloadSpec` to a running :class:`~repro.harness.world.World`.
+
+This is the *policy* half of the subsystem: it translates traffic models
+into concrete streams over the deployed stack —
+
+- groups come from the shared :class:`~repro.experiments.common.GroupPlan`
+  (leaders are P-nodes, as in the paper's Fig. 8 deployments); members are
+  assigned round-robin over the non-leader population in node-id order, so
+  the deployment is a pure function of the world and the spec;
+- CBR packets are PPSS application payloads (``ppss.send_app``) tagged
+  ``{"app": "workload"}``; delivery is observed by a *chaining* app-handler
+  sink installed on every member, which forwards any non-workload payload
+  to whatever handler the application (e.g. T-Chord) had installed —
+  PPSS has a single app-handler slot and the workload must not steal it;
+- Zipf lookups run over a T-Chord ring built on the first group's members,
+  with keys drawn from the :class:`~repro.core.sampling.ZipfSampler`;
+- flash-crowd joiners are fresh nodes spawned into the world mid-run,
+  invited to the first group, and polled until they reach MEMBER state or
+  miss the deadline.
+
+Every random choice (member picks, Zipf keys, Poisson gaps) derives from
+the workload seed via :func:`repro.parallel.derive_seed`, never from the
+world's protocol RNG streams — attaching a workload perturbs the
+deployment only through the traffic itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from ..apps.tchord import TChordNode
+from ..core.ppss import MemberState, PpssConfig
+from ..core.sampling import ZipfSampler
+from ..experiments.common import GroupPlan
+from ..parallel import derive_seed
+from .driver import WorkloadDriver
+from .spec import CbrStreams, FlashCrowd, WorkloadSpec, ZipfLookups
+
+if TYPE_CHECKING:
+    from ..core.node import WhisperNode
+    from ..harness.world import World
+
+__all__ = ["AttachedWorkload"]
+
+TCHORD_CYCLE_TIME = 10.0
+"""Ring gossip period under load — faster than fig9's 20 s so the ring is
+usable within the shorter convergence budget of load scenarios."""
+
+JOIN_POLL_INTERVAL = 2.0
+"""How often a flash-crowd joiner's membership state is re-checked."""
+
+
+class AttachedWorkload:
+    """One spec bound to one world: groups joined, streams ready to arm.
+
+    Lifecycle::
+
+        attached = AttachedWorkload(world, spec, seed)
+        world.run(converge)      # let the group memberships gossip in
+        attached.arm()           # rings built, sinks installed, clocks set
+        world.run(spec.horizon() + drain)
+        attached.finish()        # close per-stream spans
+        rows = attached.summary()
+    """
+
+    def __init__(self, world: "World", spec: WorkloadSpec, seed: int) -> None:
+        self.world = world
+        self.spec = spec
+        self.seed = seed
+        self.driver = WorkloadDriver(world.sim, world.telemetry, seed)
+        self.plan = GroupPlan(
+            world, spec.groups,
+            ppss_config=PpssConfig(cycle_time=spec.cycle_time),
+        )
+        self.members: dict[str, list["WhisperNode"]] = {}
+        self.tchords: list[TChordNode] = []
+        self._spans: dict[str, object] = {}
+        self._armed = False
+        self._subscribe_members()
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def _subscribe_members(self) -> None:
+        """Round-robin the non-leader population into the spec's groups."""
+        leader_ids = self.plan.leader_ids()
+        candidates = sorted(
+            (n for n in self.world.alive_nodes() if n.node_id not in leader_ids),
+            key=lambda n: n.node_id,
+        )
+        if not candidates:
+            raise ValueError("workload needs non-leader nodes to subscribe")
+        cursor = 0
+        for name in self.plan.names:
+            leader = self.plan.leaders[name]
+            group_members = [leader]
+            scanned = 0
+            while (
+                len(group_members) - 1 < self.spec.members_per_group
+                and scanned < len(candidates)
+            ):
+                node = candidates[cursor % len(candidates)]
+                cursor += 1
+                scanned += 1
+                if name in node.groups:
+                    continue
+                invitation = leader.group(name).invite(node.node_id)
+                node.join_group(invitation, config=self.plan.ppss_config)
+                group_members.append(node)
+            self.members[name] = group_members
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Build rings/sinks and put every stream's first arrival on the clock.
+
+        Call after the world has run long enough for group joins to settle;
+        arming is idempotent-hostile by design (second call raises).
+        """
+        if self._armed:
+            raise RuntimeError("workload already armed")
+        self._armed = True
+        zipf = self.spec.model(ZipfLookups)
+        if zipf is not None:
+            self._build_ring()
+        # Sinks chain on top of whatever handler T-Chord just installed,
+        # so they must come second.
+        self._install_sinks()
+        for index, model in enumerate(self.spec.models):
+            if isinstance(model, CbrStreams):
+                self._arm_cbr(index, model)
+            elif isinstance(model, ZipfLookups):
+                self._arm_zipf(index, model)
+            elif isinstance(model, FlashCrowd):
+                self._arm_flash(index, model)
+        telemetry = self.world.telemetry
+        for sid in sorted(self.driver.streams):
+            account = self.driver.accounts[sid]
+            self._spans[sid] = telemetry.span_start(
+                "workload.stream", layer="workload",
+                stream=sid, kind=account.kind,
+            )
+        self.driver.arm()
+
+    def finish(self) -> None:
+        """Stop the streams and close each per-stream span with its ledger."""
+        self.driver.stop()
+        telemetry = self.world.telemetry
+        now = self.world.sim.now
+        for sid, span in sorted(self._spans.items()):
+            account = self.driver.accounts[sid]
+            telemetry.span_end(
+                span,
+                offered=account.offered,
+                completed=account.completed,
+                failed=account.failed,
+                bytes_delivered=account.bytes_delivered,
+                goodput=round(account.goodput(now), 3),
+            )
+        self._spans.clear()
+
+    # -- CBR streams ----------------------------------------------------
+    def _arm_cbr(self, index: int, model: CbrStreams) -> None:
+        names = self.plan.names
+        for i in range(model.streams):
+            sid = f"cbr-{index}-{i}"
+            name = names[i % len(names)]
+            group_members = self.members[name]
+            if len(group_members) < 2:
+                raise ValueError(f"group {name} too small for a CBR stream")
+            rng = random.Random(derive_seed(self.seed, "cbr", index, i))
+            sender, receiver = rng.sample(group_members, 2)
+            action = self._make_cbr_action(sid, name, sender, receiver, model)
+            self.driver.add_stream(
+                sid, "cbr", action,
+                interval=model.interval,
+                start=model.start,
+                until=model.end,
+            )
+
+    def _make_cbr_action(
+        self,
+        sid: str,
+        name: str,
+        sender: "WhisperNode",
+        receiver: "WhisperNode",
+        model: CbrStreams,
+    ):
+        def action(seq: int, now: float) -> bool:
+            src = sender.groups.get(name)
+            dst = receiver.groups.get(name)
+            if (
+                src is None or dst is None
+                or src.state is not MemberState.MEMBER
+                or dst.state is not MemberState.MEMBER
+            ):
+                return False
+            self.driver.note_offered_bytes(sid, model.payload)
+            payload = {
+                "app": "workload",
+                "sid": sid,
+                "seq": seq,
+                "t": now,
+                "size": model.payload,
+            }
+            return src.send_app(
+                dst.self_contact(), payload, model.payload,
+                include_self_contact=False,
+            )
+
+        return action
+
+    def _install_sinks(self) -> None:
+        for name in self.plan.names:
+            for node in self.members[name]:
+                ppss = node.groups.get(name)
+                if ppss is None:
+                    continue
+                previous = getattr(ppss, "_app_handler", None)
+                ppss.set_app_handler(self._make_sink(previous))
+
+    def _make_sink(self, previous):
+        def sink(payload, reply_to) -> None:
+            if isinstance(payload, dict) and payload.get("app") == "workload":
+                latency = self.world.sim.now - payload["t"]
+                self.driver.note_completion(
+                    payload["sid"],
+                    latency=latency,
+                    nbytes=payload.get("size", 0),
+                    ok=True,
+                )
+            elif previous is not None:
+                previous(payload, reply_to)
+
+        return sink
+
+    # -- Zipf lookups ---------------------------------------------------
+    def _build_ring(self) -> None:
+        ring_group = self.plan.names[0]
+        for node in self.members[ring_group]:
+            ppss = node.groups.get(ring_group)
+            if ppss is None:
+                continue
+            self.tchords.append(
+                TChordNode(
+                    ppss,
+                    self.world.sim,
+                    random.Random(derive_seed(self.seed, "tchord", node.node_id)),
+                    cycle_time=TCHORD_CYCLE_TIME,
+                )
+            )
+
+    def _arm_zipf(self, index: int, model: ZipfLookups) -> None:
+        sid = f"zipf-{index}"
+        keys = ZipfSampler(
+            model.keys, model.exponent,
+            random.Random(derive_seed(self.seed, "zipf-keys", index)),
+        )
+        pick = random.Random(derive_seed(self.seed, "zipf-pick", index))
+        arrivals = random.Random(derive_seed(self.seed, "zipf-arrivals", index))
+
+        def action(seq: int, now: float) -> bool:
+            ready = [tc for tc in self.tchords if tc.successor is not None]
+            if not ready:
+                return False
+            querier = pick.choice(ready)
+            key = f"load-key-{keys.sample()}"
+
+            def done(result) -> None:
+                if result is None:
+                    self.driver.note_completion(sid, ok=False)
+                else:
+                    self.driver.note_completion(
+                        sid, latency=result.latency, ok=True
+                    )
+
+            querier.lookup(key, done)
+            return True
+
+        self.driver.add_stream(
+            sid, "zipf", action,
+            interval=lambda: arrivals.expovariate(model.rate),
+            start=model.start,
+            until=model.end,
+        )
+
+    # -- flash crowd ----------------------------------------------------
+    def _arm_flash(self, index: int, model: FlashCrowd) -> None:
+        sid = f"flash-{index}"
+        target = self.plan.names[0]
+        leader = self.plan.leaders[target]
+
+        def action(seq: int, now: float) -> bool:
+            ppss = leader.groups.get(target)
+            if ppss is None or not leader.alive:
+                return False
+            joiner = self.world.spawn_started()
+            joiner.join_group(
+                ppss.invite(joiner.node_id), config=self.plan.ppss_config
+            )
+            self._poll_join(sid, joiner, target, deadline=now + model.deadline)
+            return True
+
+        self.driver.add_stream(
+            sid, "flash", action,
+            interval=model.spread / model.joiners,
+            start=model.at,
+            count=model.joiners,
+        )
+
+    def _poll_join(
+        self, sid: str, joiner: "WhisperNode", name: str, deadline: float
+    ) -> None:
+        started = self.world.sim.now
+
+        def check() -> None:
+            ppss = joiner.groups.get(name)
+            if ppss is not None and ppss.state is MemberState.MEMBER:
+                self.driver.note_completion(
+                    sid, latency=self.world.sim.now - started, ok=True
+                )
+                return
+            if self.world.sim.now >= deadline:
+                self.driver.note_completion(sid, ok=False)
+                return
+            self.driver.clock.schedule(JOIN_POLL_INTERVAL, check)
+
+        self.driver.clock.schedule(JOIN_POLL_INTERVAL, check)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def summary(self) -> list[dict[str, object]]:
+        """One row per stream: the ledger plus latency percentiles."""
+        now = self.world.sim.now
+        rows: list[dict[str, object]] = []
+        metrics = self.world.telemetry.metrics
+        for sid in sorted(self.driver.accounts):
+            account = self.driver.accounts[sid]
+            row: dict[str, object] = {
+                "stream": sid,
+                "kind": account.kind,
+                "offered": account.offered,
+                "emitted": account.emitted,
+                "completed": account.completed,
+                "failed": account.failed,
+                "lag": account.lag,
+                "delivery_ratio": round(account.delivery_ratio, 4),
+                "goodput_bps": round(account.goodput(now), 3),
+            }
+            histogram = metrics.collect("workload.latency").get(
+                (("kind", account.kind), ("layer", "workload"), ("stream", sid))
+            )
+            if histogram is not None and histogram.count:
+                for key, value in histogram.percentiles().items():
+                    row[key] = round(value, 4)
+            rows.append(row)
+        return rows

@@ -247,3 +247,77 @@ class TestStackInstrumentation:
         assert "wcl.peel" in names
         # The journey is time-ordered: build first, delivery last.
         assert names[-1] == "wcl.delivered" or "wcl.peel" in names[-1]
+
+
+class TestHistogramReservoir:
+    """PR 6: histogram memory is O(1) via deterministic reservoir sampling."""
+
+    def test_exact_below_the_cap(self):
+        from repro.telemetry.instruments import Histogram
+
+        hist = Histogram("h", (), reservoir=100)
+        for i in range(100):
+            hist.observe(float(i))
+        assert not hist.saturated
+        assert len(hist.samples) == 100
+        assert hist.count == 100
+        assert hist.quantile(50) == pytest.approx(49.5)
+
+    def test_memory_bounded_past_100k_samples(self):
+        from repro.telemetry.instruments import Histogram
+
+        cap = 512
+        hist = Histogram("latency", (("layer", "workload"),), reservoir=cap)
+        n = 120_000
+        for i in range(n):
+            hist.observe(float(i % 1000))
+        assert hist.saturated
+        assert len(hist.samples) == cap  # O(1) memory, not O(n)
+        # Totals stay exact regardless of sampling.
+        assert hist.count == n
+        assert hist.sum == pytest.approx(sum(float(i % 1000) for i in range(n)))
+        assert hist.min == 0.0 and hist.max == 999.0
+        # Quantiles remain sane estimates of the uniform 0..999 shape.
+        trio = hist.percentiles()
+        assert trio["p50"] == pytest.approx(500.0, abs=120.0)
+        assert trio["p95"] == pytest.approx(950.0, abs=60.0)
+        assert trio["p99"] == pytest.approx(990.0, abs=30.0)
+
+    def test_reservoir_is_deterministic(self):
+        from repro.telemetry.instruments import Histogram
+
+        def build():
+            hist = Histogram("rtt", (("node", 4),), reservoir=64)
+            for i in range(5000):
+                hist.observe(float((i * 37) % 211))
+            return hist
+
+        assert build().samples == build().samples
+
+    def test_reservoir_depends_on_identity(self):
+        # Different (name, labels) identities seed different reservoirs, so
+        # two hot histograms cannot shadow each other's sampling decisions.
+        from repro.telemetry.instruments import Histogram
+
+        def build(name):
+            hist = Histogram(name, (), reservoir=32)
+            for i in range(2000):
+                hist.observe(float(i))
+            return hist
+
+        assert build("a").samples != build("b").samples
+
+    def test_aggregate_totals_exact_past_saturation(self):
+        from repro.telemetry.instruments import Histogram
+
+        reg = MetricsRegistry()
+        # Registry histograms use the default cap; emulate saturation with
+        # a hand-built small-reservoir instrument registered alongside.
+        small = Histogram("mix", (("node", 1),), reservoir=16)
+        reg._metrics[("mix", (("node", 1),))] = small
+        for i in range(1000):
+            small.observe(float(i))
+        summary = reg.aggregate("mix")
+        assert summary["count"] == 1000
+        assert summary["sum"] == pytest.approx(sum(range(1000)))
+        assert summary["min"] == 0.0 and summary["max"] == 999.0
