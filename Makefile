@@ -4,7 +4,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-full load examples trace clean
+.PHONY: install test bench bench-full load soak examples trace clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,12 @@ bench-full:
 # multigroup, loss burst) over the deployed PPSS/T-Chord stack.
 load:
 	$(PYTHON) -m repro.experiments load --seed 7
+
+# Live-mode soak: ~100 supervised nodes on real loopback UDP through a
+# scripted fault schedule, gated on post-heal route success.  Runs on a
+# real clock (~30 s wall).
+soak:
+	$(PYTHON) -m repro.experiments soak --scale 1.0 --route-floor 0.95
 
 examples:
 	$(PYTHON) examples/quickstart.py

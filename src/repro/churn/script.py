@@ -22,7 +22,11 @@ scenarios stay one-line declarative::
     at 420s blackhole 9 -> 5 for 60s         # ... with scheduled healing
     at 500s stall 3% for 120s                # alive but dropping traffic
     at 600s reset nat 10%                    # NAT reboots forget mappings
+    at 620s rebind nat 10%                   # NAT rebinds to fresh endpoints
     from 700s to 760s loss 20%               # loss-rate burst
+    from 700s to 760s delay 50ms 20%         # bufferbloat window
+    from 700s to 760s duplicate 10%          # duplicated datagrams
+    from 700s to 760s reorder 10% by 80ms    # held-back minority reorders
 """
 
 from __future__ import annotations
@@ -36,10 +40,14 @@ from ..core.node import WhisperNode
 from ..faults.injector import FaultInjector
 from ..faults.plan import (
     Blackhole,
+    Delay,
+    Duplicate,
     FaultDirective,
     LossBurst,
+    NatRebind,
     NatReset,
     Partition,
+    Reorder,
     Stall,
     is_fault_directive,
 )
@@ -101,6 +109,7 @@ Directive = Union[
 
 _DURATION = r"(\d+(?:\.\d+)?)s"
 _PERCENT = r"(\d+(?:\.\d+)?)%"
+_MILLIS = r"(\d+(?:\.\d+)?)ms"
 
 
 def _percent_fraction(raw: str, what: str) -> float:
@@ -164,6 +173,35 @@ _PATTERNS: list[tuple[re.Pattern, Callable[[re.Match], Directive]]] = [
         lambda m: LossBurst(
             float(m[1]), float(m[2]), _percent_fraction(m[3], "loss")
         ),
+    ),
+    # ---- transit shaping + live rebinds (PR 7) ------------------------
+    (
+        re.compile(
+            rf"^from {_DURATION} to {_DURATION} delay {_MILLIS}(?: {_PERCENT})?$"
+        ),
+        lambda m: Delay(
+            float(m[1]), float(m[2]), delay=float(m[3]) / 1000.0,
+            rate=_percent_fraction(m[4], "delay") if m[4] is not None else 1.0,
+        ),
+    ),
+    (
+        re.compile(rf"^from {_DURATION} to {_DURATION} duplicate {_PERCENT}$"),
+        lambda m: Duplicate(
+            float(m[1]), float(m[2]), _percent_fraction(m[3], "duplicate")
+        ),
+    ),
+    (
+        re.compile(
+            rf"^from {_DURATION} to {_DURATION} reorder {_PERCENT} by {_MILLIS}$"
+        ),
+        lambda m: Reorder(
+            float(m[1]), float(m[2]),
+            _percent_fraction(m[3], "reorder"), delay=float(m[4]) / 1000.0,
+        ),
+    ),
+    (
+        re.compile(rf"^at {_DURATION} rebind nat {_PERCENT}$"),
+        lambda m: NatRebind(float(m[1]), _percent_fraction(m[2], "rebind nat")),
     ),
 ]
 

@@ -16,6 +16,9 @@ import argparse
 import inspect
 import sys
 
+from ..faults import FaultPlanError
+from ..harness.invariants import RecoveryViolation
+
 from . import (
     ablations,
     fig5_biased_pss,
@@ -26,6 +29,7 @@ from . import (
     load,
     resilience,
     scale as scale_experiment,
+    soak,
     table1_churn,
     table2_cpu,
     wire_format,
@@ -37,6 +41,8 @@ EXPERIMENTS = {
     "table1": ("Table I — routes under churn", table1_churn.run),
     "resilience": ("Resilience — recovery from injected faults",
                    resilience.run),
+    "soak": ("Soak — live loopback nodes under a scripted fault schedule",
+             soak.run),
     "load": ("Load — heavy-traffic workloads over PPSS/T-Chord", load.run),
     "fig7": ("Fig. 7 — RTT breakdown", fig7_rtt.run),
     "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
@@ -76,6 +82,25 @@ def main(argv: list[str] | None = None) -> int:
              "sequential; output is byte-identical either way; 0 = one "
              "per core)",
     )
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="exact population size (experiments that accept it; "
+             "overrides --scale)",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON FaultPlan file to run instead of the built-in schedule "
+             "(soak)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's telemetry as JSONL to PATH (soak)",
+    )
+    parser.add_argument(
+        "--route-floor", type=float, default=None, metavar="RATIO",
+        help="fail (exit 1) if post-heal route success drops below RATIO "
+             "(soak; e.g. 0.95)",
+    )
     args = parser.parse_args(argv)
     workers = args.workers
     if workers == 0:
@@ -91,14 +116,27 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _title, run = EXPERIMENTS[name]
+        params = inspect.signature(run).parameters
         kwargs = {"scale": args.scale}
         if args.seed is not None:
             kwargs["seed"] = args.seed
         # Sweep-style experiments take a worker count; single-world ones
         # (fig7, fig9, table2, scale, wire, ablation-path) stay sequential.
-        if workers > 1 and "workers" in inspect.signature(run).parameters:
+        if workers > 1 and "workers" in params:
             kwargs["workers"] = workers
-        report = run(**kwargs)
+        # Soak-style flags travel only to experiments that declare them.
+        for flag in ("nodes", "fault_plan", "trace_out", "route_floor"):
+            value = getattr(args, flag)
+            if value is not None and flag in params:
+                kwargs[flag] = value
+        try:
+            report = run(**kwargs)
+        except RecoveryViolation as exc:
+            print(f"{name}: FAILED — {exc}", file=sys.stderr)
+            return 1
+        except (FaultPlanError, OSError) as exc:
+            print(f"{name}: bad fault plan — {exc}", file=sys.stderr)
+            return 1
         print(report.render())
     return 0
 

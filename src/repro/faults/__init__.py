@@ -1,37 +1,60 @@
 """Fault injection: deterministic partial failures for robustness testing.
 
-See :mod:`.plan` for the fault taxonomy and :mod:`.injector` for execution.
-Fault directives are also scriptable through the churn script language
+See :mod:`.plan` for the fault taxonomy, :mod:`.injector` for execution on
+the simulated fabric and :mod:`.live` for execution against real UDP
+datagrams (:class:`~repro.faults.live.LiveFaultFabric`).  Fault directives
+are also scriptable through the churn script language
 (:mod:`repro.churn.script`)::
 
     from 300s to 600s partition groups a|b
     at 400s blackhole 5 -> 9
     at 500s stall 3% for 120s
     at 600s reset nat 10%
+    at 620s rebind nat 10%
     from 700s to 760s loss 20%
+    from 700s to 760s delay 50ms 20%
+    from 700s to 760s duplicate 10%
+    from 700s to 760s reorder 10% by 80ms
+
+and serializable to/from canonical JSON (``FaultPlan.to_json`` /
+``FaultPlan.from_json``) so soak schedules travel on CLIs and into
+recorded perf extras.
 """
 
 from .injector import FaultInjector, FaultStats
+from .live import LiveFaultFabric, LiveFaultStats
 from .plan import (
     Blackhole,
+    Delay,
+    Duplicate,
     FaultDirective,
     FaultPlan,
+    FaultPlanError,
     LossBurst,
+    NatRebind,
     NatReset,
     Partition,
+    Reorder,
     Stall,
     is_fault_directive,
 )
 
 __all__ = [
     "Blackhole",
+    "Delay",
+    "Duplicate",
     "FaultDirective",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "FaultStats",
+    "LiveFaultFabric",
+    "LiveFaultStats",
     "LossBurst",
+    "NatRebind",
     "NatReset",
     "Partition",
+    "Reorder",
     "Stall",
     "is_fault_directive",
 ]

@@ -10,8 +10,12 @@ are supported (see :mod:`repro.faults.plan`):
 - **loss bursts** — extra uniform loss windows, stacking multiplicatively;
 - **partitions** — seeded group splits with scheduled healing;
 - **stalls** — nodes that silently drop all traffic, both directions;
-- **NAT resets** — devices that forget their association rules, killing
-  established inbound sessions.
+- **NAT resets / rebinds** — devices that forget their association rules,
+  killing established inbound sessions;
+- **transit shaping** — extra delay, duplication and reordering windows,
+  applied through the fabric's ``on_transit`` hook (the live fabric
+  executes the same directives with real scheduler timers; see
+  :mod:`repro.faults.live`).
 
 Determinism: victim selection uses the world registry's ``faults`` stream
 and iterates populations in sorted-id order, and the loss draw consumes the
@@ -32,11 +36,15 @@ from typing import TYPE_CHECKING
 from ..net.address import NodeId
 from .plan import (
     Blackhole,
+    Delay,
+    Duplicate,
     FaultDirective,
     FaultPlan,
     LossBurst,
+    NatRebind,
     NatReset,
     Partition,
+    Reorder,
     Stall,
 )
 
@@ -58,7 +66,11 @@ class FaultStats:
     faults_healed: int = 0
     nodes_stalled: int = 0
     nat_resets: int = 0
-    sessions_invalidated: int = 0  # NAT mappings wiped by resets
+    nat_rebinds: int = 0
+    sessions_invalidated: int = 0  # NAT mappings wiped by resets/rebinds
+    delays_injected: int = 0
+    duplicates_injected: int = 0
+    reorders_injected: int = 0
     active_rates: list[float] = field(default_factory=list)
 
 
@@ -80,6 +92,9 @@ class FaultInjector:
         self._blackholes: set[tuple[NodeId, NodeId]] = set()
         self._stalled: set[NodeId] = set()
         self._loss_rates: list[float] = []
+        self._delays: list[Delay] = []
+        self._dup_rates: list[float] = []
+        self._reorders: list[Reorder] = []
         # node -> partition group index; None when no partition is active.
         self._partition: dict[NodeId, int] | None = None
         self._partition_groups = 0
@@ -110,6 +125,16 @@ class FaultInjector:
             self._at(base + directive.at, lambda d=directive: self._stall(d))
         elif isinstance(directive, NatReset):
             self._at(base + directive.at, lambda d=directive: self._reset_nat(d))
+        elif isinstance(directive, Delay):
+            self._at(base + directive.start, lambda d=directive: self._start_delay(d))
+        elif isinstance(directive, Duplicate):
+            self._at(base + directive.start, lambda d=directive: self._start_dup(d))
+        elif isinstance(directive, Reorder):
+            self._at(
+                base + directive.start, lambda d=directive: self._start_reorder(d)
+            )
+        elif isinstance(directive, NatRebind):
+            self._at(base + directive.at, lambda d=directive: self._rebind_nat(d))
         else:
             raise TypeError(f"not a fault directive: {directive!r}")
 
@@ -128,6 +153,9 @@ class FaultInjector:
         self._blackholes.clear()
         self._stalled.clear()
         self._loss_rates.clear()
+        self._delays.clear()
+        self._dup_rates.clear()
+        self._reorders.clear()
         self._partition = None
 
     # ------------------------------------------------------------------
@@ -143,6 +171,41 @@ class FaultInjector:
             self._count_drop("loss")
             return "loss"
         return None
+
+    def on_transit(self, src: NodeId, dst_hint: NodeId) -> tuple[float, int]:
+        """Transit-shaping effects for one message: (extra_delay, copies).
+
+        Consulted by the fabric after the drop checks pass.  Returns the
+        extra seconds the message spends in flight and how many copies are
+        delivered (1 = normal, 2 = duplicated).  The RNG is only consumed
+        while a shaping directive is active, so plans without delay/
+        duplicate/reorder directives leave existing traces byte-identical.
+        """
+        extra = 0.0
+        copies = 1
+        for directive in self._delays:
+            if directive.rate >= 1.0 or self._rng.random() < directive.rate:
+                extra += directive.delay
+                if directive.jitter:
+                    extra += self._rng.random() * directive.jitter
+                self.stats.delays_injected += 1
+                self._count_shaping("delay")
+        for rate in self._dup_rates:
+            if self._rng.random() < rate:
+                copies += 1
+                self.stats.duplicates_injected += 1
+                self._count_shaping("duplicate")
+        for directive in self._reorders:
+            if self._rng.random() < directive.rate:
+                extra += directive.delay
+                self.stats.reorders_injected += 1
+                self._count_shaping("reorder")
+        return extra, copies
+
+    @property
+    def shaping_active(self) -> bool:
+        """Whether any delay/duplicate/reorder directive is currently live."""
+        return bool(self._delays or self._dup_rates or self._reorders)
 
     def on_deliver(self, src: NodeId, owner: NodeId) -> str | None:
         """Ingress check: faults that arose while the message was in flight
@@ -254,20 +317,7 @@ class FaultInjector:
         self._record_heal("stall")
 
     def _reset_nat(self, directive: NatReset) -> None:
-        topology = self.world.topology
-        natted = sorted(
-            n.node_id
-            for n in self.world.alive_nodes()
-            if topology.knows(n.node_id)
-            and topology.assignment(n.node_id).device is not None
-        )
-        count = min(len(natted), max(1, round(len(natted) * directive.fraction)))
-        victims = self._rng.sample(natted, count) if count else []
-        wiped = 0
-        for nid in victims:
-            device = topology.assignment(nid).device
-            assert device is not None
-            wiped += device.reset_mappings()
+        victims, wiped = self._wipe_nat_mappings(directive.fraction)
         self.stats.nat_resets += len(victims)
         self.stats.sessions_invalidated += wiped
         self._record_activation("nat_reset")
@@ -275,6 +325,81 @@ class FaultInjector:
             self.telemetry.counter("fault.nat_resets", layer="fault").inc(
                 len(victims)
             )
+
+    def _rebind_nat(self, directive: NatRebind) -> None:
+        # The sim fabric has no sockets to close; a rebind's observable
+        # effect — peers' established paths to the victim go dark until NAT
+        # traversal re-discovers the endpoint — is a mapping wipe.
+        victims, wiped = self._wipe_nat_mappings(directive.fraction)
+        self.stats.nat_rebinds += len(victims)
+        self.stats.sessions_invalidated += wiped
+        self._record_activation("nat_rebind")
+        if self.telemetry.enabled:
+            self.telemetry.counter("fault.nat_rebinds", layer="fault").inc(
+                len(victims)
+            )
+
+    def _wipe_nat_mappings(self, fraction: float) -> tuple[list[NodeId], int]:
+        topology = self.world.topology
+        natted = sorted(
+            n.node_id
+            for n in self.world.alive_nodes()
+            if topology.knows(n.node_id)
+            and topology.assignment(n.node_id).device is not None
+        )
+        count = min(len(natted), max(1, round(len(natted) * fraction)))
+        victims = self._rng.sample(natted, count) if count else []
+        wiped = 0
+        for nid in victims:
+            device = topology.assignment(nid).device
+            assert device is not None
+            wiped += device.reset_mappings()
+        return victims, wiped
+
+    def _start_delay(self, directive: Delay) -> None:
+        self._delays.append(directive)
+        self._record_activation("delay")
+        self._at(
+            self._sim.now + (directive.end - directive.start),
+            lambda: self._stop_delay(directive),
+        )
+
+    def _stop_delay(self, directive: Delay) -> None:
+        try:
+            self._delays.remove(directive)
+        except ValueError:
+            pass
+        self._record_heal("delay")
+
+    def _start_dup(self, directive: Duplicate) -> None:
+        self._dup_rates.append(directive.rate)
+        self._record_activation("duplicate")
+        self._at(
+            self._sim.now + (directive.end - directive.start),
+            lambda: self._stop_dup(directive),
+        )
+
+    def _stop_dup(self, directive: Duplicate) -> None:
+        try:
+            self._dup_rates.remove(directive.rate)
+        except ValueError:
+            pass
+        self._record_heal("duplicate")
+
+    def _start_reorder(self, directive: Reorder) -> None:
+        self._reorders.append(directive)
+        self._record_activation("reorder")
+        self._at(
+            self._sim.now + (directive.end - directive.start),
+            lambda: self._stop_reorder(directive),
+        )
+
+    def _stop_reorder(self, directive: Reorder) -> None:
+        try:
+            self._reorders.remove(directive)
+        except ValueError:
+            pass
+        self._record_heal("reorder")
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -289,6 +414,12 @@ class FaultInjector:
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "fault.drops", layer="fault", reason=reason
+            ).inc()
+
+    def _count_shaping(self, kind: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "fault.shaped", layer="fault", kind=kind
             ).inc()
 
     def _record_activation(self, kind: str) -> None:

@@ -16,7 +16,8 @@ scripts), so the same plan can run after any warm-up period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, fields
 from typing import Union
 
 from ..net.address import NodeId
@@ -27,8 +28,13 @@ __all__ = [
     "Partition",
     "Stall",
     "NatReset",
+    "Delay",
+    "Duplicate",
+    "Reorder",
+    "NatRebind",
     "FaultDirective",
     "FaultPlan",
+    "FaultPlanError",
     "is_fault_directive",
 ]
 
@@ -129,9 +135,121 @@ class NatReset:
             raise ValueError(f"nat reset fraction out of range: {self.fraction}")
 
 
-FaultDirective = Union[Blackhole, LossBurst, Partition, Stall, NatReset]
+@dataclass(frozen=True)
+class Delay:
+    """Extra per-message transit delay of ``delay`` seconds during [start, end].
 
-_FAULT_TYPES = (Blackhole, LossBurst, Partition, Stall, NatReset)
+    Each affected message (a ``rate`` fraction of traffic) is held back by
+    ``delay`` plus a uniform draw from [0, jitter] — the bufferbloat /
+    congested-uplink failure mode.  On the live fabric the hold-back is a
+    real scheduler timer between ``sendto`` calls; in the simulator it adds
+    to the latency model's transit time.
+    """
+
+    start: float
+    end: float
+    delay: float
+    jitter: float = 0.0
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ValueError("delay must be positive")
+        if self.jitter < 0:
+            raise ValueError("delay jitter cannot be negative")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"delay rate out of range: {self.rate}")
+        if self.end < self.start:
+            raise ValueError("delay window ends before it starts")
+
+
+@dataclass(frozen=True)
+class Duplicate:
+    """A ``rate`` fraction of messages is delivered twice during [start, end].
+
+    UDP duplication happens on real paths (retransmitting middleboxes,
+    route flaps); idempotent protocol handling is what this shakes out.
+    """
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"duplicate rate out of range: {self.rate}")
+        if self.end < self.start:
+            raise ValueError("duplicate window ends before it starts")
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """A ``rate`` fraction of messages is held back ``delay`` seconds.
+
+    Holding back a minority of packets while the rest flow normally makes
+    later packets overtake earlier ones — the classic UDP reordering
+    pattern of multi-path routing.
+    """
+
+    start: float
+    end: float
+    rate: float
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"reorder rate out of range: {self.rate}")
+        if self.delay <= 0:
+            raise ValueError("reorder hold-back delay must be positive")
+        if self.end < self.start:
+            raise ValueError("reorder window ends before it starts")
+
+
+@dataclass(frozen=True)
+class NatRebind:
+    """A ``fraction`` of nodes' NAT mappings rebind to fresh endpoints at ``at``.
+
+    The live fabric closes and reopens the victim's UDP socket mid-run (the
+    OS hands out a new port, exactly what a rebooted NAT box does to its
+    external mapping); peers keep sending to the stale endpoint until NAT
+    re-traversal discovers the new one.  In the simulator the victim's NAT
+    device forgets its association rules, the same observable effect.
+    """
+
+    at: float
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"nat rebind fraction out of range: {self.fraction}")
+
+
+FaultDirective = Union[
+    Blackhole, LossBurst, Partition, Stall, NatReset,
+    Delay, Duplicate, Reorder, NatRebind,
+]
+
+_FAULT_TYPES = (
+    Blackhole, LossBurst, Partition, Stall, NatReset,
+    Delay, Duplicate, Reorder, NatRebind,
+)
+
+_KIND_TO_TYPE = {
+    "blackhole": Blackhole,
+    "loss": LossBurst,
+    "partition": Partition,
+    "stall": Stall,
+    "nat_reset": NatReset,
+    "delay": Delay,
+    "duplicate": Duplicate,
+    "reorder": Reorder,
+    "nat_rebind": NatRebind,
+}
+_TYPE_TO_KIND = {cls: kind for kind, cls in _KIND_TO_TYPE.items()}
+
+
+class FaultPlanError(ValueError):
+    """A serialized fault plan could not be parsed."""
 
 
 def is_fault_directive(directive: object) -> bool:
@@ -161,3 +279,54 @@ class FaultPlan:
 
     def __iter__(self):
         return iter(self.directives)
+
+    # ------------------------------------------------------------------
+    # serialization: soak schedules travel on CLIs and into perf extras
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace variance)."""
+        rows = []
+        for directive in self.directives:
+            row: dict[str, object] = {"kind": _TYPE_TO_KIND[type(directive)]}
+            for spec in fields(directive):
+                row[spec.name] = getattr(directive, spec.name)
+            rows.append(row)
+        return json.dumps({"directives": rows}, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output; raises :class:`FaultPlanError`."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict) or "directives" not in document:
+            raise FaultPlanError('fault plan needs a top-level "directives" list')
+        rows = document["directives"]
+        if not isinstance(rows, list):
+            raise FaultPlanError('"directives" must be a list')
+        directives: list[FaultDirective] = []
+        for index, row in enumerate(rows):
+            if not isinstance(row, dict) or "kind" not in row:
+                raise FaultPlanError(f'directive #{index} needs a "kind" field')
+            kind = row["kind"]
+            directive_type = _KIND_TO_TYPE.get(kind)
+            if directive_type is None:
+                raise FaultPlanError(
+                    f"directive #{index}: unknown kind {kind!r} "
+                    f"(expected one of {sorted(_KIND_TO_TYPE)})"
+                )
+            kwargs = {k: v for k, v in row.items() if k != "kind"}
+            known = {spec.name for spec in fields(directive_type)}
+            unknown = set(kwargs) - known
+            if unknown:
+                raise FaultPlanError(
+                    f"directive #{index} ({kind}): unknown fields {sorted(unknown)}"
+                )
+            try:
+                directives.append(directive_type(**kwargs))
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(
+                    f"directive #{index} ({kind}): {exc}"
+                ) from exc
+        return cls(directives=tuple(directives))

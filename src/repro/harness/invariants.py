@@ -35,6 +35,7 @@ __all__ = [
     "check_invariants",
     "check_private_view_recovery",
     "check_exchange_recovery",
+    "check_post_heal_success",
     "check_stream_recovery",
 ]
 
@@ -194,6 +195,26 @@ def check_stream_recovery(
         during_ratio <= after_ratio,
         f"fault window shows no impact: {during_ratio:.1%} during vs "
         f"{after_ratio:.1%} after — the injected fault did not bite",
+    )
+
+
+def check_post_heal_success(
+    rate: float,
+    floor: float,
+    what: str = "route success",
+) -> None:
+    """Verify a post-heal success ratio clears an absolute floor.
+
+    The gate the ``soak`` experiment (and its CI job) runs on: unlike
+    :func:`check_exchange_recovery`, which compares against the run's own
+    pre-fault baseline, this asserts an *absolute* service level — after
+    the fault schedule heals, at least ``floor`` of attempted operations
+    must succeed, no matter how good the baseline was.  Raises
+    :class:`RecoveryViolation` otherwise.
+    """
+    _ensure_recovered(
+        rate >= floor,
+        f"post-heal {what} {rate:.1%} is below the {floor:.1%} floor",
     )
 
 

@@ -238,14 +238,24 @@ class Network:
             tel.counter("net.lost", layer="net").inc()
             self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
             return
+        extra_delay = 0.0
+        copies = 1
+        hook = self._fault_hook
+        if hook is not None and getattr(hook, "shaping_active", False):
+            # Transit shaping (delay/duplicate/reorder windows): only
+            # consulted while such a directive is live, so plans without
+            # shaping keep traces byte-identical with pre-shaping runs.
+            extra_delay, copies = hook.on_transit(src_node, hint)
         message = Message(
             visible_src, dst, kind, payload, size_bytes, protocol,
             next(self._msg_ids),
         )
-        sim.schedule(
-            latency.delay(src_node, hint, size_bytes),
-            partial(self._deliver, src_node, message, category),
-        )
+        transit = latency.delay(src_node, hint, size_bytes) + extra_delay
+        for _ in range(copies):
+            sim.schedule(
+                transit,
+                partial(self._deliver, src_node, message, category),
+            )
 
     def _deliver(self, src_node: NodeId, message: Message, category: str) -> None:
         now = self._sim.now

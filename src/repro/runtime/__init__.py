@@ -10,14 +10,19 @@ deterministically; this package implements both *live*:
   hosted node, every datagram a :mod:`repro.wire` frame;
 - :class:`LiveRuntime` — convenience host that assembles scheduler,
   network, crypto and unmodified :class:`~repro.core.node.WhisperNode`
-  stacks inside one OS process.
+  stacks inside one OS process;
+- :class:`NodeSupervisor` — liveness probing, crash/wedge detection and
+  restart-with-backoff for multi-node hosts (soak runs).
 
 ``examples/live_chat.py`` uses this to run a PSS exchange and an
-onion-routed private message between two OS processes over loopback.
+onion-routed private message between two OS processes over loopback;
+``python -m repro.experiments soak`` hosts ~100 supervised nodes in one
+process and drives them through a scripted fault schedule.
 """
 
 from .clock import AsyncioScheduler, ScheduledCall
-from .live import LiveNetwork, LiveNetworkStats, LiveRuntime
+from .live import SEND_QUEUE_LIMIT, LiveNetwork, LiveNetworkStats, LiveRuntime
+from .supervisor import NodeSupervisor, SupervisorConfig, SupervisorStats
 
 __all__ = [
     "AsyncioScheduler",
@@ -25,4 +30,8 @@ __all__ = [
     "LiveNetwork",
     "LiveNetworkStats",
     "LiveRuntime",
+    "NodeSupervisor",
+    "SEND_QUEUE_LIMIT",
+    "SupervisorConfig",
+    "SupervisorStats",
 ]

@@ -1,0 +1,512 @@
+"""Live chaos fabric: fault plans on real datagrams, supervision, soak.
+
+Four strata:
+
+- plan: FaultPlan JSON round-trips canonically and rejects malformed input;
+- parity: the same plan schedules and activates identically on the sim
+  injector and the live fabric, and sim-side transit shaping is
+  deterministic under a fixed seed;
+- live: each directive's observable effect on real loopback datagrams
+  (drop, delay, duplicate, reorder, blackhole, stall, rebind), plus the
+  bounded send queue and the supervisor's restart-with-backoff;
+- soak: the whole gauntlet end-to-end at toy scale.
+"""
+
+import pytest
+
+from repro.core.node import WhisperConfig
+from repro.core.ppss import PpssConfig
+from repro.churn import parse_script
+from repro.faults import (
+    Blackhole,
+    Delay,
+    Duplicate,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    LiveFaultFabric,
+    LossBurst,
+    NatRebind,
+    NatReset,
+    Partition,
+    Reorder,
+    Stall,
+)
+from repro.harness import World, WorldConfig
+from repro.nat.traversal import TraversalPolicy
+from repro.pss.gossip import PssConfig
+from repro.runtime import LiveRuntime, SupervisorConfig
+
+
+def all_kinds_plan() -> FaultPlan:
+    """One directive of every kind, on a sub-second timeline."""
+    return FaultPlan.of(
+        Blackhole(0.05, 0, 1),
+        LossBurst(0.05, 0.4, 0.5),
+        Partition(0.05, 0.4),
+        Stall(0.05, 0.3, 0.2),
+        NatReset(0.1, 0.5),
+        NatRebind(0.1, 0.5),
+        Delay(0.05, 0.4, delay=0.02),
+        Duplicate(0.05, 0.4, 0.5),
+        Reorder(0.05, 0.4, 0.5, delay=0.02),
+    )
+
+
+def fast_config() -> WhisperConfig:
+    return WhisperConfig(
+        pss=PssConfig(exchange_keys=True, cycle_time=0.5, response_timeout=2.0),
+        ppss=PpssConfig(cycle_time=1.0, join_retry_every=1.0, response_timeout=3.0),
+        traversal=TraversalPolicy(keepalive_interval=1.0, keepalive_misses=2),
+    )
+
+
+def quiet_runtime(n: int, telemetry: bool = True, **kwargs) -> LiveRuntime:
+    """A runtime with bound sockets but *unstarted* stacks: no background
+    traffic, so tests can count their own datagrams exactly."""
+    rt = LiveRuntime(provider="sim", telemetry_enabled=telemetry, **kwargs)
+    for nid in range(n):
+        rt.add_node(nid)
+    return rt
+
+
+def attach_collectors(rt: LiveRuntime, n: int) -> dict[int, list]:
+    received: dict[int, list] = {nid: [] for nid in range(n)}
+    for nid in range(n):
+        rt.network.attach(nid, received[nid].append)
+    return received
+
+
+def ping(rt: LiveRuntime, src: int, dst: int) -> None:
+    rt.network.send(src, rt.network.endpoints[dst], "nat.ping", {"from": src}, 40)
+
+
+# ======================================================================
+# FaultPlan JSON
+# ======================================================================
+class TestPlanJson:
+    def test_round_trip_all_kinds(self):
+        plan = all_kinds_plan()
+        again = FaultPlan.from_json(plan.to_json())
+        assert list(again) == list(plan)
+
+    def test_canonical_and_stable(self):
+        plan = FaultPlan.of(Blackhole(1.0, 3, 4, duration=2.0))
+        text = plan.to_json()
+        assert text == FaultPlan.from_json(text).to_json()
+        assert " " not in text  # compact separators, sorted keys
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json at all",
+            '{"nope": []}',
+            '{"directives": 7}',
+            '{"directives": [42]}',
+            '{"directives": [{"kind": "meteor", "at": 1.0}]}',
+            '{"directives": [{"kind": "loss", "start": 0, "end": 1,'
+            ' "rate": 0.1, "extra": true}]}',
+            '{"directives": [{"kind": "loss", "start": 0, "end": 1,'
+            ' "rate": 1.5}]}',
+            '{"directives": [{"kind": "stall", "at": 1.0}]}',
+        ],
+    )
+    def test_malformed_json_raises(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json(text)
+
+    def test_script_lines_for_new_directives(self):
+        directives = parse_script(
+            """
+            from 10s to 20s delay 50ms 25%
+            from 10s to 20s duplicate 10%
+            from 10s to 20s reorder 10% by 80ms
+            at 30s rebind nat 15%
+            """
+        )
+        assert directives == [
+            Delay(10.0, 20.0, delay=0.05, rate=0.25),
+            Duplicate(10.0, 20.0, 0.10),
+            Reorder(10.0, 20.0, 0.10, delay=0.08),
+            NatRebind(30.0, 0.15),
+        ]
+
+
+# ======================================================================
+# sim/live parity
+# ======================================================================
+def sim_world(seed: int = 42, n: int = 12) -> World:
+    world = World(WorldConfig(seed=seed))
+    world.populate(n)
+    world.start_all()
+    world.run(30.0)
+    return world
+
+
+class TestParity:
+    def test_every_directive_activates_in_both_modes(self):
+        # Sim side: the injector accepts and activates all nine kinds.
+        world = sim_world()
+        injector = FaultInjector(world)
+        injector.arm(all_kinds_plan())
+        world.run(2.0)
+        assert injector.stats.faults_activated == 9
+
+        # Live side: the fabric accepts and activates the same plan.
+        rt = quiet_runtime(4)
+        try:
+            fabric = LiveFaultFabric(rt.network, seed=1)
+            fabric.arm(all_kinds_plan())
+            rt.run_for(0.8)
+            assert fabric.stats.faults_activated == 9
+        finally:
+            rt.close()
+
+    def test_sim_transit_shaping_is_deterministic(self):
+        def run_once():
+            world = sim_world(seed=77)
+            injector = FaultInjector(world)
+            injector.arm(
+                FaultPlan.of(
+                    Delay(0.0, 60.0, delay=0.05, rate=0.5),
+                    Duplicate(0.0, 60.0, 0.5),
+                    Reorder(0.0, 60.0, 0.5, delay=0.05),
+                )
+            )
+            world.run(90.0)
+            s = injector.stats
+            assert s.delays_injected > 0
+            assert s.duplicates_injected > 0
+            assert s.reorders_injected > 0
+            return (s.delays_injected, s.duplicates_injected, s.reorders_injected)
+
+        assert run_once() == run_once()
+
+    def test_live_decision_digest_reproduces(self):
+        def run_once():
+            rt = quiet_runtime(8, telemetry=False)
+            try:
+                fabric = LiveFaultFabric(rt.network, seed=99)
+                fabric.arm(
+                    FaultPlan.of(
+                        Stall(0.05, 0.25, 0.3),
+                        NatRebind(0.1, 0.4),
+                        Partition(0.15, 0.4),
+                    )
+                )
+                rt.run_for(0.6)
+                return fabric.decision_digest()
+            finally:
+                rt.close()
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert [kind for kind, _ in first] == ["stall", "nat_rebind", "partition"]
+
+
+# ======================================================================
+# live datagram effects
+# ======================================================================
+class TestLiveFabric:
+    def test_loss_burst_drops_everything_at_rate_one(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(LossBurst(0.0, 5.0, 1.0)))
+            rt.run_for(0.05)
+            for _ in range(5):
+                ping(rt, 0, 1)
+            rt.run_for(0.2)
+            assert received[1] == []
+            assert fabric.stats.dropped == 5
+        finally:
+            rt.close()
+
+    def test_blackhole_is_directed(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(Blackhole(0.0, 0, 1)))
+            rt.run_for(0.05)
+            for _ in range(4):
+                ping(rt, 0, 1)
+                ping(rt, 1, 0)
+            rt.run_for(0.3)
+            assert received[1] == []  # 0 -> 1 swallowed
+            assert len(received[0]) == 4  # 1 -> 0 unaffected
+            assert fabric.stats.dropped == 4
+        finally:
+            rt.close()
+
+    def test_delay_holds_datagrams_on_the_scheduler(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(Delay(0.0, 5.0, delay=0.6)))
+            rt.run_for(0.05)
+            for _ in range(3):
+                ping(rt, 0, 1)
+            rt.run_for(0.2)
+            assert received[1] == []  # still held
+            rt.run_for(1.0)
+            assert len(received[1]) == 3  # released after the hold
+            assert fabric.stats.delayed == 3
+        finally:
+            rt.close()
+
+    def test_duplicate_delivers_copies(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(Duplicate(0.0, 5.0, 1.0)))
+            rt.run_for(0.05)
+            for _ in range(3):
+                ping(rt, 0, 1)
+            rt.run_for(0.3)
+            assert len(received[1]) == 6
+            assert fabric.stats.duplicated == 3
+        finally:
+            rt.close()
+
+    def test_reorder_overtakes_held_datagram(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(Reorder(0.0, 0.2, 1.0, delay=0.6)))
+            rt.run_for(0.05)
+            rt.network.send(
+                0, rt.network.endpoints[1], "nat.ping", {"from": 111}, 40
+            )  # held 0.6 s
+            rt.run_for(0.3)  # reorder window closes
+            rt.network.send(
+                0, rt.network.endpoints[1], "nat.ping", {"from": 222}, 40
+            )  # sails straight through
+            rt.run_for(0.8)
+            senders = [m.payload["from"] for m in received[1]]
+            assert senders == [222, 111]  # the younger datagram won
+            assert fabric.stats.reordered == 1
+        finally:
+            rt.close()
+
+    def test_nat_rebind_moves_the_socket(self):
+        rt = quiet_runtime(3)
+        try:
+            before = dict(rt.network.endpoints)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(NatRebind(0.0, 1.0)))
+            rt.run_for(0.2)
+            after = dict(rt.network.endpoints)
+            assert set(before) == set(after)
+            assert all(before[nid] != after[nid] for nid in before)
+            assert fabric.stats.rebinds == 3
+            assert rt.network.stats.rebinds == 3
+        finally:
+            rt.close()
+
+    def test_stall_detaches_and_restores_handler(self):
+        rt = quiet_runtime(3)
+        try:
+            attach_collectors(rt, 3)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(Stall(0.0, 0.34, 0.4)))
+            rt.run_for(0.15)
+            stalled = fabric.stalled_nodes()
+            assert len(stalled) == 1
+            victim = next(iter(stalled))
+            assert not rt.network.is_attached(victim)
+            rt.run_for(0.5)
+            assert fabric.stalled_nodes() == set()
+            assert rt.network.is_attached(victim)
+        finally:
+            rt.close()
+
+    def test_faults_visible_in_telemetry(self):
+        rt = quiet_runtime(2)
+        try:
+            attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(
+                rt.network, seed=3, telemetry=rt.telemetry
+            )
+            fabric.arm(
+                FaultPlan.of(LossBurst(0.0, 0.3, 1.0), NatRebind(0.1, 0.5))
+            )
+            rt.run_for(0.05)
+            for _ in range(4):
+                ping(rt, 0, 1)
+            rt.run_for(0.4)
+            metrics = rt.telemetry.metrics
+            assert metrics.aggregate("faults.live.dropped")["sum"] == 4
+            assert metrics.aggregate("faults.live.rebinds")["sum"] == 1
+            assert metrics.aggregate("faults.live.injected")["sum"] == 2
+        finally:
+            rt.close()
+
+    def test_heal_all_on_detach(self):
+        rt = quiet_runtime(2)
+        try:
+            received = attach_collectors(rt, 2)
+            fabric = LiveFaultFabric(rt.network, seed=3)
+            fabric.arm(FaultPlan.of(LossBurst(0.0, 60.0, 1.0)))
+            rt.run_for(0.05)
+            fabric.detach()
+            ping(rt, 0, 1)
+            rt.run_for(0.2)
+            assert len(received[1]) == 1  # datagrams flow clean again
+        finally:
+            rt.close()
+
+
+# ======================================================================
+# bounded send queue
+# ======================================================================
+class TestSendQueue:
+    def test_overflow_drops_oldest(self):
+        rt = quiet_runtime(1, queue_limit=4)
+        try:
+            network = rt.network
+            port = network._ports[0]
+            addr = (network.endpoints[0].host, network.endpoints[0].port)
+            for i in range(6):
+                network._enqueue(0, port, bytes([i]) * 8, addr)
+            assert len(port.queue) == 4
+            assert network.stats.queue_dropped == 2
+            # Oldest went first: frames 0 and 1 are gone.
+            assert [frame[0] for frame, _ in port.queue] == [2, 3, 4, 5]
+            assert network.pending_sends() == 4
+            assert (
+                rt.telemetry.metrics.value("net.send_queue_depth", layer="net")
+                == 4
+            )
+            rt.run_for(0.2)  # writer drains onto the real socket
+            assert network.pending_sends() == 0
+            assert (
+                rt.telemetry.metrics.value("net.send_queue_depth", layer="net")
+                == 0
+            )
+        finally:
+            rt.close()
+
+    def test_teardown_counts_queued_frames_as_dropped(self):
+        rt = quiet_runtime(1, queue_limit=8)
+        try:
+            network = rt.network
+            port = network._ports[0]
+            addr = (network.endpoints[0].host, network.endpoints[0].port)
+            for i in range(3):
+                network._enqueue(0, port, b"x" * 8, addr)
+            network.close_endpoint(0)
+            assert network.stats.queue_dropped == 3
+            assert network.pending_sends() == 0
+        finally:
+            rt.close()
+
+
+# ======================================================================
+# supervision
+# ======================================================================
+class TestSupervisor:
+    def _supervised_runtime(self) -> LiveRuntime:
+        rt = LiveRuntime(
+            provider="sim", telemetry_enabled=True, whisper=fast_config()
+        )
+        for nid in range(3):
+            rt.add_node(nid)
+        rt.start([rt.descriptor(0)])
+        rt.supervise(
+            SupervisorConfig(
+                probe_interval=0.1, backoff_base=0.5,
+                backoff_max=2.0, healthy_after=100.0,
+            )
+        )
+        return rt
+
+    def test_crash_is_detected_and_restarted(self):
+        rt = self._supervised_runtime()
+        try:
+            rt.crash_node(2)
+            assert not rt.nodes[2].alive
+            assert rt.run_until(lambda: rt.nodes[2].alive, timeout=3.0)
+            assert rt.restart_count(2) == 1
+            assert rt.network.is_attached(2)
+            assert 2 in rt.network.endpoints
+            assert rt.supervisor.stats.restarts == 1
+            assert (
+                rt.telemetry.metrics.aggregate("supervisor.restarts")["sum"]
+                == 1
+            )
+        finally:
+            rt.close()
+
+    def test_second_crash_waits_out_the_backoff(self):
+        rt = self._supervised_runtime()
+        try:
+            rt.crash_node(2)
+            assert rt.run_until(lambda: rt.nodes[2].alive, timeout=3.0)
+            # Second failure of the same node: restart must wait >= base.
+            t0 = rt.scheduler.now
+            rt.crash_node(2)
+            assert rt.run_until(lambda: rt.nodes[2].alive, timeout=5.0)
+            elapsed = rt.scheduler.now - t0
+            assert elapsed >= 0.45  # backoff_base minus timing slack
+            assert rt.restart_count(2) == 2
+            # The *next* failure would wait twice as long (capped).
+            assert rt.supervisor._backoff[2] == 1.0
+        finally:
+            rt.close()
+
+    def test_wedged_node_is_forced_down_and_restarted(self):
+        rt = self._supervised_runtime()
+        try:
+            # Alive but detached from the fabric: a wedge, not a crash.
+            rt.network.detach(2)
+            assert rt.nodes[2].alive
+            assert rt.run_until(
+                lambda: rt.restart_count(2) == 1 and rt.nodes[2].alive,
+                timeout=3.0,
+            )
+            assert rt.network.is_attached(2)
+        finally:
+            rt.close()
+
+    def test_restarted_node_gets_fresh_rng_stream(self):
+        rt = self._supervised_runtime()
+        try:
+            old = rt.nodes[2]
+            rt.crash_node(2)
+            assert rt.run_until(lambda: rt.nodes[2].alive, timeout=3.0)
+            assert rt.nodes[2] is not old
+        finally:
+            rt.close()
+
+
+# ======================================================================
+# soak smoke
+# ======================================================================
+@pytest.mark.slow
+class TestSoakSmoke:
+    def test_toy_soak_survives_the_gauntlet(self):
+        from repro.experiments.soak import run_soak
+
+        result = run_soak(16, seed=5)
+        assert result.nodes == 16
+        # Traffic flowed in every window and the fault schedule bit.
+        for window in ("before", "during", "after"):
+            assert result.windows[window][1] > 0
+        assert result.fault_counts["dropped"] > 0
+        assert result.fault_counts["rebinds"] >= 1
+        assert result.fault_counts["activated"] == 3
+        # The kills happened and the supervisor healed them.
+        assert len(result.killed) >= 2
+        assert result.restarts >= len(result.killed)
+        # Post-heal routing recovered (loose smoke floor; the CI soak job
+        # gates the real 95% floor at full scale).
+        after = result.rate("after")
+        assert after is not None and after >= 0.75
+        # Every fault and restart is accounted for in telemetry.
+        assert result.telemetry_consistent, result.telemetry_notes
+        assert result.decision_digest
