@@ -4,7 +4,7 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-full load soak examples trace clean
+.PHONY: install test bench bench-full load soak anonymity examples trace clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ load:
 # real clock (~30 s wall).
 soak:
 	$(PYTHON) -m repro.experiments soak --scale 1.0 --route-floor 0.95
+
+# Traffic-analysis attacks (intersection, predecessor) against WCL routes
+# with countermeasure ablations (cover traffic, batched mixing), gated on
+# each countermeasure actually cutting its attack.
+anonymity:
+	$(PYTHON) -m repro.experiments anonymity --seed 7 --attack-gate
 
 examples:
 	$(PYTHON) examples/quickstart.py

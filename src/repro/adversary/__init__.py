@@ -1,0 +1,50 @@
+"""Adversary subsystem: passive observation, traffic analysis, anonymity metrics.
+
+WHISPER's claim is confidentiality against an honest-but-curious observer;
+this package measures what such an observer actually learns:
+
+- :mod:`.observer` — :class:`GlobalObserver`, the deterministic global
+  wiretap, and :class:`Corruption`, seeded per-adversary link/node subsets;
+- :mod:`.exposure` — full-path traceability: onion flow reconstruction and
+  the link-fraction exposure sweep against the paper's p^h bound;
+- :mod:`.attacks` — :class:`IntersectionAttack` and
+  :class:`PredecessorAttack`, the classic traffic-analysis attacks that
+  work *below* full-path observation, emitting ``anonymity.*`` telemetry.
+
+The countermeasures they evaluate live with the protocols they modify:
+cover traffic in :meth:`repro.core.ppss.PrivatePeerSamplingService.send_cover`
+(armed via the :class:`~repro.workload.spec.CoverTraffic` traffic model)
+and batched mixing in
+:meth:`repro.core.wcl.WhisperCommunicationLayer.enable_mix_batching`
+(armed via ``WorkloadSpec.mix_batch_interval``).  The ``anonymity``
+experiment sweeps attacks × corruption fractions × countermeasures.
+"""
+
+from .attacks import (
+    AttackResult,
+    IntersectionAttack,
+    PredecessorAttack,
+    record_attack_telemetry,
+)
+from .exposure import (
+    OnionFlow,
+    adversary_sweep,
+    carries_trace,
+    exposure,
+    extract_flows,
+)
+from .observer import Corruption, GlobalObserver
+
+__all__ = [
+    "AttackResult",
+    "Corruption",
+    "GlobalObserver",
+    "IntersectionAttack",
+    "OnionFlow",
+    "PredecessorAttack",
+    "adversary_sweep",
+    "carries_trace",
+    "exposure",
+    "extract_flows",
+    "record_attack_telemetry",
+]

@@ -1,0 +1,128 @@
+"""The global passive observer and its seeded corruption sets.
+
+:class:`GlobalObserver` is the adversary's sensorium: a
+:class:`~repro.net.observer.LinkObserver` in ``watch_all`` mode, tapping
+every wire event the fabric emits.  The *global* tape is ground truth for
+the measurement harness; an actual adversary instance only gets the slice
+a :class:`Corruption` allows — the links it wiretaps plus every link
+adjacent to a node it controls (a corrupted node sees its own traffic in
+both directions, the honest-but-curious insider of the paper's threat
+model).
+
+Corruption sets are drawn from blake2b-derived RNG streams
+(:func:`repro.parallel.derive_seed`), so an adversary is a pure function
+of ``(observer seed, label, fractions)``: experiments redraw the same
+adversaries at any worker count and traces stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..net.address import NodeId
+from ..net.observer import LinkObserver, ObservedPacket
+from ..parallel import derive_seed
+
+__all__ = ["Corruption", "GlobalObserver"]
+
+Link = tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """One adversary instance: the directed links and nodes it controls."""
+
+    label: str
+    links: frozenset[Link]
+    nodes: frozenset[NodeId]
+
+    def sees(self, sender: NodeId, receiver: NodeId) -> bool:
+        """Is traffic on this directed link visible to the adversary?"""
+        return (
+            (sender, receiver) in self.links
+            or sender in self.nodes
+            or receiver in self.nodes
+        )
+
+    def visible_links(self, universe: list[Link] | set[Link]) -> set[Link]:
+        """The subset of ``universe`` this adversary can observe."""
+        return {link for link in universe if self.sees(*link)}
+
+
+class GlobalObserver(LinkObserver):
+    """Deterministic global wiretap + factory for partial adversaries.
+
+    Records everything (the measurement tape), then carves per-adversary
+    views out of it: :meth:`corruption` draws a link/node subset from a
+    seeded stream, :meth:`adversary_view` filters the tape down to what
+    that adversary would have captured.  Attach with
+    ``world.network.add_observer(tap)`` — late attachment is fine and
+    bounds the tape to the window under attack.
+    """
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self.seed = seed
+        self.watch_all()
+
+    # -- universes ------------------------------------------------------
+    def link_universe(self) -> list[Link]:
+        """Every directed link that carried a delivered packet, sorted."""
+        return sorted(
+            {
+                (p.sender, p.receiver)
+                for p in self.packets
+                if p.receiver is not None
+            }
+        )
+
+    def node_universe(self) -> list[NodeId]:
+        """Every node that sent or received on the tape, sorted."""
+        nodes: set[NodeId] = set()
+        for p in self.packets:
+            nodes.add(p.sender)
+            if p.receiver is not None:
+                nodes.add(p.receiver)
+        return sorted(nodes)
+
+    # -- adversary construction ----------------------------------------
+    def corruption(
+        self,
+        link_fraction: float,
+        node_fraction: float = 0.0,
+        label: str = "",
+    ) -> Corruption:
+        """Draw an adversary controlling random link/node subsets.
+
+        The draw derives from ``(seed, label, fractions)`` alone — the
+        same call always yields the same adversary, and distinct labels
+        yield independent ones (the per-trial redraw of the sweep).
+        """
+        if not 0.0 <= link_fraction <= 1.0:
+            raise ValueError(f"link fraction out of range: {link_fraction}")
+        if not 0.0 <= node_fraction <= 1.0:
+            raise ValueError(f"node fraction out of range: {node_fraction}")
+        rng = random.Random(
+            derive_seed(
+                self.seed, "corruption", label,
+                f"{link_fraction:g}", f"{node_fraction:g}",
+            )
+        )
+        links = self.link_universe()
+        nodes = self.node_universe()
+        k_links = round(len(links) * link_fraction)
+        k_nodes = round(len(nodes) * node_fraction)
+        return Corruption(
+            label=label,
+            links=frozenset(rng.sample(links, k_links)),
+            nodes=frozenset(rng.sample(nodes, k_nodes)),
+        )
+
+    def adversary_view(self, corruption: Corruption) -> list[ObservedPacket]:
+        """The tape reduced to what ``corruption`` actually observes."""
+        return [
+            p
+            for p in self.packets
+            if p.receiver is not None and corruption.sees(p.sender, p.receiver)
+        ]

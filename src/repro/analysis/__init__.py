@@ -1,4 +1,8 @@
-"""Offline security analysis over wiretap captures."""
+"""Offline security analysis over wiretap captures.
+
+The exposure toolkit now lives in :mod:`repro.adversary`; this package
+re-exports it for backwards compatibility.
+"""
 
 from .anonymity import (
     OnionFlow,

@@ -1,29 +1,22 @@
-"""Quantifying relationship anonymity against partial link observation.
+"""Backwards-compatible shim: the exposure analysis moved to
+:mod:`repro.adversary.exposure`.
 
-The paper's threat model grants the attacker *some* links but "not all
-three links on the path" (Section III-A): a WCL message is linkable —
-i.e. the attacker learns that S and D communicate — only if it observes
-every hop of the onion path and chains them.  This module measures that
-boundary empirically: given a fully-taped run (a global
-:class:`~repro.net.observer.LinkObserver`) it reconstructs each onion's
-hop sequence from the measurement trace ids and computes, for an adversary
-controlling a random fraction of links, how many confidential messages it
-could fully trace.
-
-For a path with h wire hops and an adversary observing each link
-independently with probability p, the analytic exposure is p^h — the
-empirical sweep in :func:`adversary_sweep` should straddle that curve,
-and the paths-of-4-nodes design keeps it negligible for realistic p.
+This module re-exports the original names so pre-existing imports
+(``from repro.analysis.anonymity import extract_flows`` and friends) keep
+working.  New code should import from :mod:`repro.adversary`, which also
+holds the global observer, corruption sets and the traffic-analysis
+attacks built on top of this exposure toolkit.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-
-from ..core.onion import OnionPacket
-from ..net.address import NodeId
-from ..net.observer import ObservedPacket
+from ..adversary.exposure import (
+    OnionFlow,
+    adversary_sweep,
+    carries_trace,
+    exposure,
+    extract_flows,
+)
 
 __all__ = [
     "carries_trace",
@@ -32,123 +25,3 @@ __all__ = [
     "exposure",
     "adversary_sweep",
 ]
-
-
-def carries_trace(payload: object, trace_id: int) -> bool:
-    """Does this wire payload carry the onion with ``trace_id``?
-
-    Walks ``nat.data`` / ``nat.relay`` wrappers.  Measurement-only: trace
-    ids exist for instrumentation and would not appear on a real wire.
-    """
-    stack, steps = [payload], 0
-    while stack and steps < 64:
-        steps += 1
-        item = stack.pop()
-        if isinstance(item, OnionPacket):
-            if item.trace_id == trace_id:
-                return True
-        elif isinstance(item, dict):
-            stack.extend(item.values())
-    return False
-
-
-def _onion_trace_ids(payload: object) -> set[int]:
-    """All onion trace ids carried in a wire payload."""
-    found: set[int] = set()
-    stack, steps = [payload], 0
-    while stack and steps < 64:
-        steps += 1
-        item = stack.pop()
-        if isinstance(item, OnionPacket):
-            found.add(item.trace_id)
-        elif isinstance(item, dict):
-            stack.extend(item.values())
-    return found
-
-
-@dataclass(frozen=True)
-class OnionFlow:
-    """One onion's journey: the ordered wire hops it traversed."""
-
-    trace_id: int
-    hops: tuple[tuple[NodeId, NodeId], ...]
-
-    @property
-    def source(self) -> NodeId:
-        """The true sender S (ground truth, not attacker knowledge)."""
-        return self.hops[0][0]
-
-    @property
-    def destination(self) -> NodeId:
-        """The true destination D."""
-        return self.hops[-1][1]
-
-    def links(self) -> set[tuple[NodeId, NodeId]]:
-        """The directed links an adversary must observe to trace the flow."""
-        return set(self.hops)
-
-
-def extract_flows(
-    packets: list[ObservedPacket], min_hops: int = 2
-) -> list[OnionFlow]:
-    """Group a wiretap's packets into per-onion hop sequences.
-
-    Packets whose receiver is unknown (lost/filtered) are skipped; flows
-    with fewer than ``min_hops`` observed hops (partially-lost onions) are
-    dropped, since their end-to-end pair cannot be established even by the
-    ground truth.
-    """
-    by_trace: dict[int, list[ObservedPacket]] = {}
-    for packet in packets:
-        if packet.receiver is None:
-            continue
-        for trace_id in _onion_trace_ids(packet.payload):
-            by_trace.setdefault(trace_id, []).append(packet)
-    flows = []
-    for trace_id, trace_packets in sorted(by_trace.items()):
-        trace_packets.sort(key=lambda p: p.time)
-        hops: list[tuple[NodeId, NodeId]] = []
-        for packet in trace_packets:
-            hop = (packet.sender, packet.receiver)
-            if not hops or hops[-1] != hop:
-                hops.append(hop)
-        if len(hops) >= min_hops:
-            flows.append(OnionFlow(trace_id=trace_id, hops=tuple(hops)))
-    return flows
-
-
-def exposure(
-    flows: list[OnionFlow], observed_links: set[tuple[NodeId, NodeId]]
-) -> float:
-    """Fraction of flows the adversary can fully trace (all hops observed)."""
-    if not flows:
-        return 0.0
-    traced = sum(
-        1 for flow in flows if flow.links() <= observed_links
-    )
-    return traced / len(flows)
-
-
-def adversary_sweep(
-    flows: list[OnionFlow],
-    link_fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
-    trials: int = 20,
-    rng: random.Random | None = None,
-) -> dict[float, float]:
-    """Mean exposure for adversaries owning random link subsets.
-
-    For each fraction p, samples ``trials`` random subsets of all links that
-    ever carried an onion and averages :func:`exposure` over them.
-    """
-    if rng is None:
-        rng = random.Random(0)
-    all_links = sorted({link for flow in flows for link in flow.links()})
-    results: dict[float, float] = {}
-    for fraction in link_fractions:
-        k = round(len(all_links) * fraction)
-        total = 0.0
-        for _ in range(trials):
-            observed = set(rng.sample(all_links, k)) if k else set()
-            total += exposure(flows, observed)
-        results[fraction] = total / trials
-    return results

@@ -113,6 +113,8 @@ class PpssStats:
     join_attempts: int = 0
     app_sent: int = 0
     app_received: int = 0
+    cover_sent: int = 0  # decoy onions emitted (anonymity countermeasure)
+    cover_received: int = 0  # decoys counted and discarded
 
 
 @dataclass(frozen=True, slots=True)
@@ -382,6 +384,37 @@ class PrivatePeerSamplingService:
             return True
         return False
 
+    def send_cover(self, contact: PrivateContact, size: int) -> bool:
+        """Emit a decoy onion to ``contact`` (cover-traffic countermeasure).
+
+        On the wire a decoy is indistinguishable from an application
+        payload of the same ``size`` — same onion construction, same
+        framing — so a passive observer correlating "who originates
+        onions" with delivery windows sees every covering member as
+        persistently active.  The receiver counts it and discards it
+        (passport-gated like any group message); it never reaches the app
+        handler.
+        """
+        if self.passport is None:
+            return False
+        body = {
+            "type": "ppss.cover",
+            "group": self.group,
+            "sender_id": self.node_id,
+            "passport": self.passport,
+            "pad": size,
+        }
+        attempt = self.wcl.send_to(
+            contact, body, size + sizes.passport, context="ppss.cover"
+        )
+        if attempt is not None:
+            self.stats.cover_sent += 1
+            self.telemetry.counter(
+                "ppss.cover_sent", node=self.node_id, layer="ppss"
+            ).inc()
+            return True
+        return False
+
     # ==================================================================
     # active gossip thread
     # ==================================================================
@@ -599,6 +632,8 @@ class PrivatePeerSamplingService:
             self._on_response(body)
         elif msg_type == "ppss.app":
             self._on_app(body)
+        elif msg_type == "ppss.cover":
+            self._on_cover(body)
         elif msg_type == "ppss.pcp_refresh":
             self._on_pcp_refresh(body)
         elif msg_type == "ppss.pcp_ack":
@@ -795,6 +830,14 @@ class PrivatePeerSamplingService:
         self.stats.app_received += 1
         if self._app_handler is not None:
             self._app_handler(body["payload"], body.get("reply_to"))
+
+    def _on_cover(self, body: dict[str, Any]) -> None:
+        # Decoy padding: count it and drop it.  Cover traffic must stay
+        # invisible above PPSS, so it never reaches the app handler.
+        self.stats.cover_received += 1
+        self.telemetry.counter(
+            "ppss.cover_received", node=self.node_id, layer="ppss"
+        ).inc()
 
     # -- leader election fallout -----------------------------------------
     def _become_elected_leader(self, epoch: int) -> None:

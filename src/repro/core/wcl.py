@@ -29,7 +29,7 @@ from ..sim.clock import Clock
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import CbEntry, ConnectionBacklog
 from .contact import Gateway, PrivateContact
-from .onion import HopSpec, OnionPacket, build_onion, peel
+from .onion import HopSpec, NextHop, OnionPacket, build_onion, peel
 
 __all__ = ["WhisperCommunicationLayer", "AttemptInfo", "WclStats"]
 
@@ -57,6 +57,7 @@ class WclStats:
     degraded_paths: int = 0  # pair drawn from the widened (PSS-view) pool
     misrouted: int = 0  # header did not open with our key
     forward_failures: int = 0  # next-hop session was gone
+    mix_held: int = 0  # forwards pooled by batched mixing (countermeasure)
 
 
 class WhisperCommunicationLayer:
@@ -83,6 +84,12 @@ class WhisperCommunicationLayer:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = WclStats()
         self._receive_upcall: ReceiveUpcall | None = None
+        # Batched mixing (anonymity countermeasure): None = off, the
+        # default — the forward path is then byte-identical to a build
+        # without the feature.
+        self._mix_batch_interval: float | None = None
+        self._mix_pool: list[tuple[int, NextHop, OnionPacket]] = []
+        self._mix_flush_pending = False
 
     @property
     def public_key(self) -> PublicKey:
@@ -348,9 +355,70 @@ class WhisperCommunicationLayer:
         assert next_hop is not None
         self.stats.forwarded += 1
         tel.counter("wcl.forwarded", node=self.node_id, layer="wcl").inc()
-        self._sim.schedule(
-            delay, lambda: self._forward(next_hop, forward)
-        )
+        if self._mix_batch_interval is None:
+            self._sim.schedule(
+                delay, lambda: self._forward(next_hop, forward)
+            )
+        else:
+            self._sim.schedule(
+                delay, lambda: self._hold_for_mixing(next_hop, forward)
+            )
+
+    # ------------------------------------------------------------------
+    # batched mixing (anonymity countermeasure)
+    # ------------------------------------------------------------------
+    def enable_mix_batching(self, interval: float) -> None:
+        """Hold-and-flush mixing for forwarded onions.
+
+        Instead of forwarding each onion as soon as it is peeled, the mix
+        pools it and releases the whole pool at the next batch boundary —
+        a multiple of ``interval`` on the clock, so boundaries are
+        deterministic and traces stay byte-identical per seed.  Flushes
+        depart in trace-id order, decoupling departure order from arrival
+        order: that reordering, plus the severed in/out timing link, is
+        what defeats predecessor-style chaining.  Only *relayed* onions
+        are held; a sender's own emissions are not (the countermeasure
+        lives at WCL relays).
+        """
+        if interval <= 0:
+            raise ValueError(
+                f"mix batch interval must be positive, got {interval}"
+            )
+        self._mix_batch_interval = interval
+
+    def disable_mix_batching(self) -> None:
+        """Turn mixing off; anything still pooled is flushed immediately."""
+        self._mix_batch_interval = None
+        if self._mix_pool:
+            self._flush_mix_pool()
+
+    def _hold_for_mixing(self, next_hop: NextHop, packet: OnionPacket) -> None:
+        interval = self._mix_batch_interval
+        if interval is None:
+            # Disabled while the peel delay was in flight: forward plainly.
+            self._forward(next_hop, packet)
+            return
+        self._mix_pool.append((packet.trace_id, next_hop, packet))
+        self.stats.mix_held += 1
+        self.telemetry.counter(
+            "wcl.mix_held", node=self.node_id, layer="wcl"
+        ).inc()
+        if not self._mix_flush_pending:
+            self._mix_flush_pending = True
+            now = self._sim.now
+            boundary = (int(now / interval) + 1) * interval
+            self._sim.schedule(boundary - now, self._flush_mix_pool)
+
+    def _flush_mix_pool(self) -> None:
+        self._mix_flush_pending = False
+        pool, self._mix_pool = self._mix_pool, []
+        if not pool:
+            return
+        for _trace_id, next_hop, packet in sorted(pool, key=lambda h: h[0]):
+            self._forward(next_hop, packet)
+        self.telemetry.counter(
+            "wcl.mix_flushed", node=self.node_id, layer="wcl"
+        ).inc(len(pool))
 
     def _forward(self, next_hop, packet: OnionPacket) -> None:
         if next_hop.public_endpoint is not None:

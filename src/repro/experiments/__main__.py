@@ -21,6 +21,7 @@ from ..harness.invariants import RecoveryViolation
 
 from . import (
     ablations,
+    anonymity,
     fig5_biased_pss,
     fig6_key_sampling,
     fig7_rtt,
@@ -44,6 +45,8 @@ EXPERIMENTS = {
     "soak": ("Soak — live loopback nodes under a scripted fault schedule",
              soak.run),
     "load": ("Load — heavy-traffic workloads over PPSS/T-Chord", load.run),
+    "anonymity": ("Anonymity — traffic-analysis attacks vs countermeasures",
+                  anonymity.run),
     "fig7": ("Fig. 7 — RTT breakdown", fig7_rtt.run),
     "table2": ("Table II — CPU per PPSS cycle", table2_cpu.run),
     "fig8": ("Fig. 8 — bandwidth vs groups", fig8_group_bandwidth.run),
@@ -94,12 +97,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
-        help="write the run's telemetry as JSONL to PATH (soak)",
+        help="write the run's telemetry as JSONL to PATH (soak; anonymity "
+             "writes one PATH.<variant>.jsonl per variant)",
     )
     parser.add_argument(
         "--route-floor", type=float, default=None, metavar="RATIO",
         help="fail (exit 1) if post-heal route success drops below RATIO "
              "(soak; e.g. 0.95)",
+    )
+    parser.add_argument(
+        "--attack-gate", action="store_true", default=None,
+        help="fail (exit 1) unless each countermeasure reduces its attack's "
+             "success below the baseline (anonymity)",
     )
     args = parser.parse_args(argv)
     workers = args.workers
@@ -125,7 +134,9 @@ def main(argv: list[str] | None = None) -> int:
         if workers > 1 and "workers" in params:
             kwargs["workers"] = workers
         # Soak-style flags travel only to experiments that declare them.
-        for flag in ("nodes", "fault_plan", "trace_out", "route_floor"):
+        for flag in (
+            "nodes", "fault_plan", "trace_out", "route_floor", "attack_gate",
+        ):
             value = getattr(args, flag)
             if value is not None and flag in params:
                 kwargs[flag] = value

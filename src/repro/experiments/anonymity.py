@@ -1,0 +1,288 @@
+"""``anonymity`` — traffic-analysis attacks vs. countermeasure ablations.
+
+Three variants of the same CBR deployment, one sweep point each:
+
+- ``baseline`` — persistent senders, no countermeasures;
+- ``cover`` — every group member also emits decoy traffic
+  (:class:`~repro.workload.spec.CoverTraffic` →
+  ``PrivatePeerSamplingService.send_cover``);
+- ``mixing`` — WCL relays hold-and-flush forwarded onions at
+  deterministic batch boundaries
+  (``WorkloadSpec.mix_batch_interval`` →
+  ``WhisperCommunicationLayer.enable_mix_batching``).
+
+Each variant runs its own seeded world with a
+:class:`~repro.adversary.GlobalObserver` taping the traffic window, then
+replays the tape against adversaries drawn at a sweep of link-corruption
+fractions, running the intersection and predecessor attacks per target
+and recording ``anonymity.*`` telemetry *into the world's trace* before
+hashing it — the per-variant trace SHA covers the attack outcomes, so
+"same seed ⇒ byte-identical attack results" is directly diffable across
+reruns and ``--workers`` counts.
+
+The report is attack success vs. corruption fraction per variant; the
+``--attack-gate`` flag additionally enforces that cover traffic cuts the
+intersection attack and batched mixing cuts the predecessor attack
+(:func:`~repro.harness.invariants.check_attack_mitigation`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..adversary import (
+    GlobalObserver,
+    IntersectionAttack,
+    PredecessorAttack,
+    record_attack_telemetry,
+)
+from ..harness.invariants import check_attack_mitigation, check_invariants
+from ..harness.report import Report, Table
+from ..harness.world import World, WorldConfig
+from ..parallel import SweepSpec, derive_seed, run_sweep
+from ..workload import CbrStreams, CoverTraffic, WorkloadSpec, world_size
+from ..workload.attach import AttachedWorkload
+from .common import scaled
+
+__all__ = ["run", "run_variant", "AnonymityResult", "VARIANTS", "FRACTIONS"]
+
+VARIANTS = ("baseline", "cover", "mixing")
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9)
+TRIALS = 3  # adversary redraws per fraction
+ATTACKS = ("intersection", "predecessor")
+
+MIX_BATCH_INTERVAL = 1.0  # s; >> the predecessor chaining delta (0.25 s)
+
+_WARMUP = 120.0  # PSS/overlay bootstrap before groups form
+_CONVERGE = 240.0  # group membership gossip before traffic arms
+_DRAIN = 60.0  # post-horizon window for in-flight completions
+
+
+@dataclass
+class AnonymityResult:
+    """One variant world reduced to its picklable attack ledger."""
+
+    variant: str
+    nodes: int
+    groups: int
+    targets: int
+    # attack name -> corruption fraction -> success rate over targets×trials
+    success: dict[str, dict[float, float]] = field(default_factory=dict)
+    # attack name -> mean final anonymity-set size over targets×trials
+    final_set_size: dict[str, float] = field(default_factory=dict)
+    trace_sha: str = ""
+    trace_path: str | None = None
+
+    def mean_success(self, attack: str) -> float:
+        rates = self.success.get(attack, {})
+        return sum(rates.values()) / len(rates) if rates else 0.0
+
+
+def _variant_spec(variant: str, scale: float) -> WorkloadSpec:
+    # One CBR stream per group: within a group exactly one member is a
+    # persistent sender, so the intersection attack has a well-posed
+    # single-culprit question per target.
+    groups = scaled(2, scale, minimum=2)
+    duration = float(scaled(90, scale, minimum=60))
+    models: list = [
+        CbrStreams(streams=groups, interval=0.5, payload=160, duration=duration)
+    ]
+    if variant == "cover":
+        models.append(
+            CoverTraffic(interval=0.5, payload=160, duration=duration)
+        )
+    return WorkloadSpec(
+        name=f"anonymity-{variant}",
+        groups=groups,
+        members_per_group=scaled(6, scale, minimum=5),
+        models=tuple(models),
+        mix_batch_interval=MIX_BATCH_INTERVAL if variant == "mixing" else None,
+    )
+
+
+def _point(point) -> AnonymityResult:
+    variant, point_seed, scale, trace_out = point
+    return run_variant(variant, point_seed, scale, trace_out=trace_out)
+
+
+def run_variant(
+    variant: str,
+    seed: int,
+    scale: float = 1.0,
+    trace_out: str | None = None,
+) -> AnonymityResult:
+    """Run one countermeasure variant: deploy, tape, attack, hash."""
+    if variant not in VARIANTS:
+        known = ", ".join(VARIANTS)
+        raise ValueError(f"unknown variant {variant!r} (known: {known})")
+    spec = _variant_spec(variant, scale)
+    world = World(WorldConfig(seed=seed, telemetry_enabled=True))
+    world.populate(world_size(spec, scale))
+    world.start_all()
+    world.run(_WARMUP)
+    attached = AttachedWorkload(world, spec, seed=seed)
+    world.run(_CONVERGE)
+    # The tape starts at arm time: the adversary observes the traffic
+    # window, which also bounds the capture's memory.
+    tap = GlobalObserver(seed=derive_seed(seed, "observer", variant))
+    world.network.add_observer(tap)
+    attached.arm()
+    world.run(spec.horizon() + _DRAIN)
+    attached.finish()
+    check_invariants(world)
+
+    member_ids = {
+        name: [n.node_id for n in nodes]
+        for name, nodes in attached.members.items()
+    }
+    # One target per CBR stream, ground truth from the attachment: the
+    # adversary must name the persistent sender towards each receiver,
+    # choosing among the receiver's fellow group members.
+    targets = []
+    for sid in sorted(attached.cbr_endpoints):
+        group, sender, receiver = attached.cbr_endpoints[sid]
+        candidates = [m for m in member_ids[group] if m != receiver]
+        targets.append((sender, receiver, candidates))
+
+    result = AnonymityResult(
+        variant=variant,
+        nodes=len(world.nodes),
+        groups=spec.groups,
+        targets=len(targets),
+    )
+    attacks = (IntersectionAttack(), PredecessorAttack())
+    link_universe = tap.link_universe()
+    telemetry = world.telemetry
+    wins = {a.name: {f: 0 for f in FRACTIONS} for a in attacks}
+    finals: dict[str, list[int]] = {a.name: [] for a in attacks}
+    totals = {f: 0 for f in FRACTIONS}
+    for fraction in FRACTIONS:
+        for trial in range(TRIALS):
+            corruption = tap.corruption(fraction, label=f"trial-{trial}")
+            visible = corruption.visible_links(link_universe)
+            for attack in attacks:
+                outcomes = [
+                    attack.run(
+                        tap.packets, visible,
+                        true_sender=sender, target=receiver,
+                        candidates=candidates,
+                    )
+                    for sender, receiver, candidates in targets
+                ]
+                record_attack_telemetry(telemetry, variant, fraction, outcomes)
+                wins[attack.name][fraction] += sum(
+                    1 for o in outcomes if o.success
+                )
+                finals[attack.name].extend(
+                    o.set_sizes[-1] for o in outcomes if o.set_sizes
+                )
+            totals[fraction] += len(targets)
+    for attack in attacks:
+        result.success[attack.name] = {
+            fraction: (
+                wins[attack.name][fraction] / totals[fraction]
+                if totals[fraction]
+                else 0.0
+            )
+            for fraction in FRACTIONS
+        }
+        sizes = finals[attack.name]
+        result.final_set_size[attack.name] = (
+            round(sum(sizes) / len(sizes), 3) if sizes else 0.0
+        )
+
+    if trace_out:
+        result.trace_path = f"{trace_out}.{variant}.jsonl"
+        text = telemetry.export_jsonl(result.trace_path)
+    else:
+        text = telemetry.export_jsonl()
+    result.trace_sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return result
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 7,
+    variants: tuple[str, ...] | None = None,
+    workers: int = 1,
+    attack_gate: bool = False,
+    trace_out: str | None = None,
+) -> Report:
+    report = Report(
+        title="Anonymity — traffic-analysis attacks vs countermeasures"
+    )
+    names = variants if variants is not None else VARIANTS
+    spec = SweepSpec(
+        name="anonymity",
+        points=tuple(
+            (name, derive_seed(seed, "anonymity", name), scale, trace_out)
+            for name in names
+        ),
+        worker=_point,
+    )
+    results = run_sweep(spec, workers=workers)
+    by_variant = {r.variant: r for r in results}
+
+    table = Table(
+        title=(
+            f"attack success vs corruption fraction at scale {scale:g} "
+            f"(seed {seed}, {TRIALS} adversaries/fraction)"
+        ),
+        headers=[
+            "Variant", "Attack",
+            *[f"p={f:g}" for f in FRACTIONS],
+            "Final set", "Trace",
+        ],
+    )
+    for result in results:
+        for attack in ATTACKS:
+            rates = result.success.get(attack, {})
+            table.add_row(
+                result.variant,
+                attack,
+                *[f"{rates.get(f, 0.0):.0%}" for f in FRACTIONS],
+                f"{result.final_set_size.get(attack, 0.0):g}",
+                result.trace_sha[:12],
+            )
+    report.add(table)
+    report.note(
+        "Success = adversary names the true sender exactly (unique "
+        "singleton / unique argmax); each cell averages "
+        f"{TRIALS} independent corruption draws x {results[0].targets if results else 0} targets."
+    )
+    report.note(
+        "Full-path exposure stays near the analytic p^h bound "
+        "(ablation-anonymity); these attacks show what leaks *below* "
+        "full-path observation — and what cover traffic / batched mixing "
+        "win back."
+    )
+    report.note(
+        "Trace = SHA-256 prefix of the telemetry export incl. anonymity.* "
+        "metrics: same seed must print the same hash at any --workers "
+        "count."
+    )
+    if attack_gate:
+        _gate(by_variant)
+    return report
+
+
+def _gate(by_variant: dict[str, AnonymityResult]) -> None:
+    """The CI floor gate: each countermeasure must cut its attack."""
+    baseline = by_variant.get("baseline")
+    if baseline is None:
+        raise ValueError("--attack-gate needs the baseline variant")
+    cover = by_variant.get("cover")
+    if cover is not None:
+        check_attack_mitigation(
+            baseline.mean_success("intersection"),
+            cover.mean_success("intersection"),
+            what="intersection attack under cover traffic",
+        )
+    mixing = by_variant.get("mixing")
+    if mixing is not None:
+        check_attack_mitigation(
+            baseline.mean_success("predecessor"),
+            mixing.mean_success("predecessor"),
+            what="predecessor attack under batched mixing",
+        )

@@ -37,6 +37,7 @@ __all__ = [
     "check_exchange_recovery",
     "check_post_heal_success",
     "check_stream_recovery",
+    "check_attack_mitigation",
 ]
 
 
@@ -215,6 +216,33 @@ def check_post_heal_success(
     _ensure_recovered(
         rate >= floor,
         f"post-heal {what} {rate:.1%} is below the {floor:.1%} floor",
+    )
+
+
+def check_attack_mitigation(
+    baseline_rate: float,
+    mitigated_rate: float,
+    what: str = "attack success",
+    margin: float = 0.0,
+) -> None:
+    """Verify a countermeasure actually reduced an attack's success rate.
+
+    The gate the ``anonymity`` experiment (and its CI job) runs on: the
+    attack's success under the countermeasure must come in below the
+    baseline by at least ``margin``.  A baseline of zero fails too — if
+    the attack never succeeded without the countermeasure, the mitigation
+    claim is vacuous and the scenario needs rescaling, not a green check.
+    Raises :class:`RecoveryViolation` otherwise.
+    """
+    _ensure_recovered(
+        baseline_rate > 0.0,
+        f"{what}: the baseline attack never succeeded — the mitigation "
+        "claim is vacuous at this scale",
+    )
+    _ensure_recovered(
+        mitigated_rate <= baseline_rate - margin,
+        f"{what}: {mitigated_rate:.1%} under the countermeasure vs "
+        f"{baseline_rate:.1%} baseline (required drop: {margin:.1%})",
     )
 
 

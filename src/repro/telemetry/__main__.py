@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro.telemetry trace.jsonl
+    python -m repro.telemetry summary trace.jsonl
 
-Prints the span-name tally, example span trees for the busiest traces, and
-the counter/histogram highlights — the target of ``make trace``.
+Prints the span-name tally, example span trees for the busiest traces,
+the counter/histogram highlights, and — when the trace carries
+``anonymity.*`` metrics — the adversary scoreboard (attack success and
+anonymity-set-size p50/p95 per countermeasure variant).  The target of
+``make trace``.
 """
 
 from __future__ import annotations
@@ -17,6 +21,10 @@ from .summary import summarize_file
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    # `summary` is the explicit subcommand; the bare-path form stays for
+    # back-compat with `make trace` muscle memory.
+    if args and args[0] == "summary":
+        args = args[1:]
     if len(args) != 1 or args[0] in ("-h", "--help"):
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -41,6 +41,10 @@ __all__ = ["export_jsonl", "export_lines", "load_jsonl"]
 FORMAT_NAME = "whisper-telemetry"
 FORMAT_VERSION = 1
 _HISTOGRAM_LEVELS = (50.0, 90.0, 99.0)
+# anonymity.* records additionally carry p95 (the summary CLI's set-size
+# column); scoping the extra level keeps every pre-existing trace
+# byte-identical.
+_ANONYMITY_LEVELS = (50.0, 90.0, 95.0, 99.0)
 
 
 def _json(obj: dict[str, Any]) -> str:
@@ -107,7 +111,12 @@ def _metric_lines(registry: MetricsRegistry) -> Iterator[str]:
                 # (reservoir-bounded) retained samples.
                 record["min"] = metric.min
                 record["max"] = metric.max
-                for q in _HISTOGRAM_LEVELS:
+                levels = (
+                    _ANONYMITY_LEVELS
+                    if name.startswith("anonymity.")
+                    else _HISTOGRAM_LEVELS
+                )
+                for q in levels:
                     record[f"p{q:g}"] = metric.quantile(q)
         yield _json(record)
 

@@ -101,7 +101,65 @@ def summarize_file(path: str) -> str:
                 if key in record
             )
             lines.append(f"  {record['name']}{record['labels']}: {stats}")
+    anonymity = _render_anonymity(metrics)
+    if anonymity:
+        lines.append(anonymity)
     return "\n".join(lines)
+
+
+def _render_anonymity(metrics: list[dict[str, Any]]) -> str:
+    """The adversary scoreboard: one row per (variant, attack, fraction).
+
+    Joins the ``anonymity.deanonymized``/``anonymity.targets`` counters
+    into a success rate and pulls the anonymity-set-size p50/p95 from the
+    reservoir histograms (p95 is exported for ``anonymity.*`` only).
+    """
+    targets: dict[tuple[str, str, str], float] = {}
+    wins: dict[tuple[str, str, str], float] = {}
+    sizes: dict[tuple[str, str, str], dict[str, Any]] = {}
+    for record in metrics:
+        name = record.get("name", "")
+        if not name.startswith("anonymity."):
+            continue
+        labels = record.get("labels", {})
+        key = (
+            str(labels.get("variant", "?")),
+            str(labels.get("attack", "?")),
+            str(labels.get("fraction", "?")),
+        )
+        if name == "anonymity.targets":
+            targets[key] = targets.get(key, 0) + record["value"]
+        elif name == "anonymity.deanonymized":
+            wins[key] = wins.get(key, 0) + record["value"]
+        elif name == "anonymity.set_size":
+            sizes[key] = record
+    if not targets:
+        return ""
+    lines = [f"\nanonymity attacks ({len(targets)} cells)"]
+    header = (
+        f"  {'variant':<12} {'attack':<14} {'fraction':>8} "
+        f"{'success':>8} {'set p50':>8} {'set p95':>8}"
+    )
+    lines.append(header)
+    for key in sorted(targets, key=lambda k: (k[0], k[1], _fraction_sort(k[2]))):
+        variant, attack, fraction = key
+        total = targets[key]
+        rate = wins.get(key, 0) / total if total else 0.0
+        size = sizes.get(key, {})
+        p50 = f"{size['p50']:g}" if "p50" in size else "-"
+        p95 = f"{size['p95']:g}" if "p95" in size else "-"
+        lines.append(
+            f"  {variant:<12} {attack:<14} {fraction:>8} "
+            f"{rate:>8.1%} {p50:>8} {p95:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _fraction_sort(text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        return float("inf")
 
 
 def _metric_key(record: dict[str, Any]) -> tuple[str, str]:

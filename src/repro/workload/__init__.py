@@ -20,10 +20,17 @@ Layering:
 
 from .driver import OpenLoopStream, StreamAccount, WorkloadDriver
 from .scenarios import SCENARIOS, build_scenario, world_size
-from .spec import CbrStreams, FlashCrowd, WorkloadSpec, ZipfLookups
+from .spec import (
+    CbrStreams,
+    CoverTraffic,
+    FlashCrowd,
+    WorkloadSpec,
+    ZipfLookups,
+)
 
 __all__ = [
     "CbrStreams",
+    "CoverTraffic",
     "FlashCrowd",
     "OpenLoopStream",
     "SCENARIOS",

@@ -35,7 +35,13 @@ from ..core.sampling import ZipfSampler
 from ..experiments.common import GroupPlan
 from ..parallel import derive_seed
 from .driver import WorkloadDriver
-from .spec import CbrStreams, FlashCrowd, WorkloadSpec, ZipfLookups
+from .spec import (
+    CbrStreams,
+    CoverTraffic,
+    FlashCrowd,
+    WorkloadSpec,
+    ZipfLookups,
+)
 
 if TYPE_CHECKING:
     from ..core.node import WhisperNode
@@ -74,6 +80,9 @@ class AttachedWorkload:
             ppss_config=PpssConfig(cycle_time=spec.cycle_time),
         )
         self.members: dict[str, list["WhisperNode"]] = {}
+        # Ground truth for the adversary experiments: CBR stream id ->
+        # (group, sender id, receiver id).  Filled at arm time.
+        self.cbr_endpoints: dict[str, tuple[str, int, int]] = {}
         self.tchords: list[TChordNode] = []
         self._spans: dict[str, object] = {}
         self._armed = False
@@ -122,6 +131,11 @@ class AttachedWorkload:
         if self._armed:
             raise RuntimeError("workload already armed")
         self._armed = True
+        if self.spec.mix_batch_interval is not None:
+            for node in sorted(
+                self.world.alive_nodes(), key=lambda n: n.node_id
+            ):
+                node.wcl.enable_mix_batching(self.spec.mix_batch_interval)
         zipf = self.spec.model(ZipfLookups)
         if zipf is not None:
             self._build_ring()
@@ -135,6 +149,8 @@ class AttachedWorkload:
                 self._arm_zipf(index, model)
             elif isinstance(model, FlashCrowd):
                 self._arm_flash(index, model)
+            elif isinstance(model, CoverTraffic):
+                self._arm_cover(index, model)
         telemetry = self.world.telemetry
         for sid in sorted(self.driver.streams):
             account = self.driver.accounts[sid]
@@ -172,6 +188,7 @@ class AttachedWorkload:
                 raise ValueError(f"group {name} too small for a CBR stream")
             rng = random.Random(derive_seed(self.seed, "cbr", index, i))
             sender, receiver = rng.sample(group_members, 2)
+            self.cbr_endpoints[sid] = (name, sender.node_id, receiver.node_id)
             action = self._make_cbr_action(sid, name, sender, receiver, model)
             self.driver.add_stream(
                 sid, "cbr", action,
@@ -235,6 +252,55 @@ class AttachedWorkload:
                 previous(payload, reply_to)
 
         return sink
+
+    # -- cover traffic (anonymity countermeasure) -----------------------
+    def _arm_cover(self, index: int, model: CoverTraffic) -> None:
+        """One decoy stream per group member, rotating over fellow members."""
+        for name in self.plan.names:
+            group_members = self.members[name]
+            if len(group_members) < 2:
+                continue
+            for node in group_members:
+                sid = f"cover-{index}-{name}-{node.node_id}"
+                rng = random.Random(
+                    derive_seed(self.seed, "cover", index, name, node.node_id)
+                )
+                action = self._make_cover_action(
+                    sid, name, node, group_members, model, rng
+                )
+                self.driver.add_stream(
+                    sid, "cover", action,
+                    interval=model.interval,
+                    start=model.start,
+                    until=model.end,
+                )
+
+    def _make_cover_action(
+        self,
+        sid: str,
+        name: str,
+        sender: "WhisperNode",
+        group_members: list["WhisperNode"],
+        model: CoverTraffic,
+        rng: random.Random,
+    ):
+        def action(seq: int, now: float) -> bool:
+            src = sender.groups.get(name)
+            if src is None or src.state is not MemberState.MEMBER:
+                return False
+            peers = [m for m in group_members if m.node_id != sender.node_id]
+            target = rng.choice(peers)
+            dst = target.groups.get(name)
+            if dst is None or dst.state is not MemberState.MEMBER:
+                return False
+            if not src.send_cover(dst.self_contact(), model.payload):
+                return False
+            # Decoys are fire-and-forget: resolve immediately so lag keeps
+            # measuring real application debt, not chaff in flight.
+            self.driver.note_completion(sid, nbytes=0, ok=True)
+            return True
+
+        return action
 
     # -- Zipf lookups ---------------------------------------------------
     def _build_ring(self) -> None:

@@ -10,9 +10,18 @@ models cover the load shapes confidential-messaging middleware must carry:
   popularity law (heavy head, long tail) with Poisson arrivals;
 - :class:`FlashCrowd` — a burst of group-join attempts compressed into a
   short window (the "everyone joins the channel at once" event);
+- :class:`CoverTraffic` — decoy CBR per group member, the anonymity
+  countermeasure ablated by the ``anonymity`` experiment: not payload but
+  chaff, emitted so a traffic-analysis adversary cannot tell active
+  senders from idle members;
 - multi-group mode is not a separate model: a spec with hundreds of
   ``groups`` and one stream per group *is* the concurrent-groups
   workload (see :mod:`repro.workload.scenarios`).
+
+A spec can also switch on batched mixing at WCL relays
+(``mix_batch_interval``), the second anonymity countermeasure — a
+deployment knob rather than a traffic model, carried here so ablation
+variants stay picklable sweep points.
 
 Specs are frozen and picklable, so sweep workers can receive them, and
 carry no RNG state — every random decision downstream derives from the
@@ -23,7 +32,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CbrStreams", "ZipfLookups", "FlashCrowd", "WorkloadSpec"]
+__all__ = [
+    "CbrStreams",
+    "CoverTraffic",
+    "FlashCrowd",
+    "WorkloadSpec",
+    "ZipfLookups",
+]
 
 
 @dataclass(frozen=True)
@@ -115,7 +130,37 @@ class FlashCrowd:
         return self.at + self.spread + self.deadline
 
 
-TrafficModel = CbrStreams | ZipfLookups | FlashCrowd
+@dataclass(frozen=True)
+class CoverTraffic:
+    """Decoy emissions: every group member sends chaff on a fixed cadence.
+
+    Each member of each group emits a ``payload``-byte decoy every
+    ``interval`` seconds to a rotating fellow member, from ``start`` for
+    ``duration`` seconds.  Decoys ride the same onion construction as
+    application payloads (``ppss.send_cover``), are discarded at the
+    receiver, and resolve the moment they are emitted — they are a
+    countermeasure, not offered load, so they must not show up as lag.
+    """
+
+    interval: float = 0.5
+    payload: int = 160  # match the CBR unit so decoys are indistinguishable
+    start: float = 0.0
+    duration: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("cover-traffic interval must be positive")
+        if self.payload < 1:
+            raise ValueError("cover-traffic payload must be positive")
+        if self.duration <= 0:
+            raise ValueError("cover-traffic duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+TrafficModel = CbrStreams | ZipfLookups | FlashCrowd | CoverTraffic
 
 
 @dataclass(frozen=True)
@@ -129,14 +174,21 @@ class WorkloadSpec:
     # Groups gossip faster than the paper's 60 s default so load runs
     # converge within experiment timescales (matches fig9's choice).
     cycle_time: float = 30.0
+    # Batched mixing at WCL relays (anonymity countermeasure): None = off,
+    # the default — existing specs keep byte-identical traces.
+    mix_batch_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.groups < 1:
             raise ValueError("a workload needs at least one group")
         if self.members_per_group < 1:
             raise ValueError("groups need at least one member besides the leader")
+        if self.mix_batch_interval is not None and self.mix_batch_interval <= 0:
+            raise ValueError("mix batch interval must be positive")
         for model in self.models:
-            if not isinstance(model, (CbrStreams, ZipfLookups, FlashCrowd)):
+            if not isinstance(
+                model, (CbrStreams, ZipfLookups, FlashCrowd, CoverTraffic)
+            ):
                 raise TypeError(f"not a traffic model: {model!r}")
 
     def horizon(self) -> float:

@@ -1,0 +1,115 @@
+"""Integration tests for the ``anonymity`` experiment.
+
+Small-scale versions of the acceptance properties: the attacks run over a
+real deployed stack and actually succeed at baseline, each countermeasure
+cuts its attack, same-seed reruns hash byte-identically, and a 2-worker
+run renders the identical report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import anonymity
+from repro.harness.invariants import check_attack_mitigation
+from repro.harness.world import World, WorldConfig
+from repro.parallel import derive_seed
+from repro.workload import CbrStreams, WorkloadSpec, world_size
+from repro.workload.attach import AttachedWorkload
+
+SCALE = 0.2
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def variant_results():
+    """One run per variant, seeded exactly as ``anonymity.run`` seeds them."""
+    return {
+        variant: anonymity.run_variant(
+            variant, derive_seed(SEED, "anonymity", variant), SCALE
+        )
+        for variant in anonymity.VARIANTS
+    }
+
+
+class TestAttackSurface:
+    def test_every_attack_and_fraction_reported(self, variant_results):
+        for result in variant_results.values():
+            assert set(result.success) == set(anonymity.ATTACKS)
+            for rates in result.success.values():
+                assert set(rates) == set(anonymity.FRACTIONS)
+                assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+    def test_baseline_attacks_actually_succeed(self, variant_results):
+        """The gate's precondition: a vacuous baseline means the scenario
+        is too small to claim anything about countermeasures."""
+        baseline = variant_results["baseline"]
+        assert baseline.mean_success("intersection") > 0.0
+        assert baseline.mean_success("predecessor") > 0.0
+
+    def test_targets_cover_every_group(self, variant_results):
+        for result in variant_results.values():
+            assert result.targets == result.groups
+
+
+class TestCountermeasures:
+    def test_cover_traffic_cuts_the_intersection_attack(self, variant_results):
+        check_attack_mitigation(
+            variant_results["baseline"].mean_success("intersection"),
+            variant_results["cover"].mean_success("intersection"),
+        )
+
+    def test_batched_mixing_cuts_the_predecessor_attack(self, variant_results):
+        check_attack_mitigation(
+            variant_results["baseline"].mean_success("predecessor"),
+            variant_results["mixing"].mean_success("predecessor"),
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_sha(self, variant_results):
+        again = anonymity.run_variant(
+            "baseline", derive_seed(SEED, "anonymity", "baseline"), SCALE
+        )
+        assert again.trace_sha == variant_results["baseline"].trace_sha
+
+    def test_workers_render_identically(self):
+        kwargs = dict(scale=SCALE, seed=SEED, variants=("baseline",))
+        sequential = anonymity.run(**kwargs).render()
+        parallel = anonymity.run(**kwargs, workers=2).render()
+        assert sequential == parallel
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity.run_variant("stealth", 1, SCALE)
+
+
+class TestMixBatchingInWorld:
+    def test_streams_deliver_and_relays_hold(self):
+        """Batched mixing must delay, not drop: CBR still delivers while
+        the relay pools visibly fill."""
+        spec = WorkloadSpec(
+            name="mix-smoke",
+            groups=1,
+            members_per_group=4,
+            models=(
+                CbrStreams(streams=2, interval=1.0, payload=64, duration=20.0),
+            ),
+            mix_batch_interval=1.0,
+        )
+        world = World(WorldConfig(seed=SEED, telemetry_enabled=True))
+        world.populate(world_size(spec, SCALE))
+        world.start_all()
+        world.run(120.0)
+        attached = AttachedWorkload(world, spec, seed=SEED)
+        world.run(240.0)
+        attached.arm()
+        world.run(spec.horizon() + 60.0)
+        attached.finish()
+        driver = attached.driver
+        assert driver.offered > 0
+        assert driver.completed / driver.offered > 0.8
+        held = sum(n.wcl.stats.mix_held for n in world.alive_nodes())
+        assert held > 0
+        text = world.telemetry.export_jsonl()
+        assert '"wcl.mix_flushed"' in text
