@@ -42,6 +42,10 @@ class WhisperConfig:
     )
     ppss: PpssConfig = field(default_factory=PpssConfig)
     traversal: TraversalPolicy = field(default_factory=TraversalPolicy)
+    # Circuit mode (amortized RSA): off by default — the paper's WCL is
+    # per-message onions; circuits are the evaluated optimisation.
+    circuit_mode: bool = False
+    circuit_lifetime: float = 600.0
 
 
 class WhisperNode:
@@ -94,6 +98,8 @@ class WhisperNode:
             telemetry=self.telemetry,
         )
         self.wcl.set_receive_upcall(self._from_wcl)
+        if self.config.circuit_mode:
+            self.wcl.enable_circuits(self.config.circuit_lifetime)
         self.groups: dict[str, PrivatePeerSamplingService] = {}
         self.unknown_group_messages = 0
         self.alive = False
@@ -185,6 +191,14 @@ class WhisperNode:
             self.pss.handle_message(peer, kind, payload)
         elif kind == "wcl.onion":
             self.wcl.handle_onion(payload)
+        elif kind == "wcl.circuit_setup":
+            self.wcl.handle_circuit_setup(peer, payload)
+        elif kind == "wcl.circuit_data":
+            self.wcl.handle_circuit_data(payload)
+        elif kind == "wcl.circuit_ack":
+            self.wcl.handle_circuit_ack(peer, payload)
+        elif kind == "wcl.circuit_teardown":
+            self.wcl.handle_circuit_teardown(payload)
         elif kind == "wcl.cb_probe":
             self.backlog.on_probe(peer, payload, self.keypair.public)
         elif kind == "wcl.cb_probe_ack":

@@ -21,15 +21,33 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..crypto.provider import CryptoError, CryptoProvider, KeyPair, PublicKey
+from ..crypto.provider import (
+    CryptoError,
+    CryptoProvider,
+    KeyPair,
+    LayeredPayload,
+    PublicKey,
+)
 from ..nat.traversal import ConnectionManager, NodeDescriptor
 from ..net.address import Endpoint, NodeId, NodeKind
+from ..net.message import sizes
 from ..nat.types import NatType
 from ..sim.clock import Clock
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backlog import CbEntry, ConnectionBacklog
 from .contact import Gateway, PrivateContact
-from .onion import HopSpec, NextHop, OnionPacket, build_onion, peel
+from .onion import (
+    CircuitFrame,
+    CircuitHop,
+    CircuitSetupPacket,
+    HopSpec,
+    NextHop,
+    OnionPacket,
+    build_circuit_setup,
+    build_onion,
+    peel,
+    peel_setup,
+)
 
 __all__ = ["WhisperCommunicationLayer", "AttemptInfo", "WclStats"]
 
@@ -58,6 +76,37 @@ class WclStats:
     misrouted: int = 0  # header did not open with our key
     forward_failures: int = 0  # next-hop session was gone
     mix_held: int = 0  # forwards pooled by batched mixing (countermeasure)
+    circuit_setups: int = 0  # CircuitSetup onions emitted (incl. rekeys)
+    circuit_sent: int = 0  # data frames sent on an established circuit
+    circuit_forwarded: int = 0  # circuit frames relayed as a mix
+    circuit_delivered: int = 0  # circuit frames terminating here
+    circuit_expired: int = 0  # frames dropped at an expired relay entry
+    circuit_rekeys: int = 0  # expired source circuits refreshed with new keys
+
+
+@dataclass
+class _SourceCircuit:
+    """Source-side record of one persistent circuit to a contact."""
+
+    contact_id: NodeId
+    circuit_id: int  # the label on the first-mix link
+    keys: tuple[bytes, ...]  # per-hop layer keys, first mix outermost
+    first_mix: NodeId
+    second_mix: NodeId
+    middle_mixes: tuple[NodeId, ...]
+    expires_at: float  # conservative: setup send time + lifetime
+    established: bool = False  # the destination's ack came back
+
+
+@dataclass
+class _RelayCircuit:
+    """Per-hop circuit state installed by a setup layer (mix or dest)."""
+
+    key: bytes
+    next_hop: NextHop | None  # None: we are the destination
+    next_circuit_id: int | None
+    prev_peer: NodeId  # session the setup arrived on — routes acks backward
+    expires_at: float
 
 
 class WhisperCommunicationLayer:
@@ -88,8 +137,23 @@ class WhisperCommunicationLayer:
         # default — the forward path is then byte-identical to a build
         # without the feature.
         self._mix_batch_interval: float | None = None
-        self._mix_pool: list[tuple[int, NextHop, OnionPacket]] = []
-        self._mix_flush_pending = False
+        self._mix_pool: list[tuple[int, NextHop, object, str]] = []
+        # Epoch for which a boundary flush is currently scheduled (None =
+        # no flush pending for the current epoch).
+        self._mix_flush_scheduled_epoch: int | None = None
+        # Every enable/disable transition bumps the epoch; a boundary
+        # flush scheduled under an older epoch is stale and must not touch
+        # the pool (it would flush a *new* pool before its boundary).
+        self._mix_epoch = 0
+        # Circuit mode (amortized RSA): off by default — with it off, no
+        # circuit state exists and every path below is byte-identical to a
+        # build without the feature.
+        self._circuit_mode = False
+        self._circuit_lifetime = 600.0
+        self._circuits: dict[NodeId, _SourceCircuit] = {}  # by contact
+        self._circuit_by_id: dict[int, NodeId] = {}  # first-link label -> contact
+        self._relay: dict[int, _RelayCircuit] = {}  # by our inbound label
+        self._relay_back: dict[int, int] = {}  # next hop's label -> ours
 
     @property
     def public_key(self) -> PublicKey:
@@ -128,6 +192,15 @@ class WhisperCommunicationLayer:
         if mixes < 2:
             raise ValueError(f"a WCL path needs at least 2 mixes, got {mixes}")
         exclude = exclude or set()
+        if self._circuit_mode:
+            attempt = self._try_circuit_send(
+                contact, content, content_size, exclude, context, mixes
+            )
+            if attempt is not None:
+                return attempt
+            # No established circuit (one may just have been initiated):
+            # fall through to the per-message path — Table I retry
+            # semantics are untouched by circuit mode.
         pair = self._select_mixes(contact, exclude)
         if pair is None:
             self.stats.no_path += 1
@@ -330,6 +403,7 @@ class WhisperCommunicationLayer:
         if forward is None:
             # We are the destination: recover the content with k.
             assert layer.key is not None
+            body_start_ms = self._charged_ms()
             try:
                 content = self.provider.decrypt_payload(
                     layer.key, packet.body, node=self.node_id, context="wcl.body"
@@ -338,6 +412,12 @@ class WhisperCommunicationLayer:
                 self.stats.misrouted += 1
                 tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
                 return
+            # The body decrypt is charged CPU like the peel; the receive
+            # upcall fires only after *both* (an earlier revision delayed
+            # by the header peel alone, so delivery looked cheaper than
+            # the accountant said it was).
+            body_ms = self._charged_ms() - body_start_ms
+            delay = (decrypt_ms + body_ms) / 1000.0
             self.stats.delivered += 1
             if tel.enabled:
                 tel.instant(
@@ -387,40 +467,54 @@ class WhisperCommunicationLayer:
         self._mix_batch_interval = interval
 
     def disable_mix_batching(self) -> None:
-        """Turn mixing off; anything still pooled is flushed immediately."""
-        self._mix_batch_interval = None
-        if self._mix_pool:
-            self._flush_mix_pool()
+        """Turn mixing off; anything still pooled is flushed immediately.
 
-    def _hold_for_mixing(self, next_hop: NextHop, packet: OnionPacket) -> None:
+        Bumps the batching epoch so an already-scheduled boundary flush
+        (ours, now moot) cannot fire into a *later* enable's pool and
+        release it before its own boundary.
+        """
+        self._mix_batch_interval = None
+        self._mix_epoch += 1
+        self._flush_mix_pool()
+
+    def _hold_for_mixing(
+        self, next_hop: NextHop, packet, kind: str = "wcl.onion"
+    ) -> None:
         interval = self._mix_batch_interval
         if interval is None:
             # Disabled while the peel delay was in flight: forward plainly.
-            self._forward(next_hop, packet)
+            self._forward(next_hop, packet, kind)
             return
-        self._mix_pool.append((packet.trace_id, next_hop, packet))
+        self._mix_pool.append((packet.trace_id, next_hop, packet, kind))
         self.stats.mix_held += 1
         self.telemetry.counter(
             "wcl.mix_held", node=self.node_id, layer="wcl"
         ).inc()
-        if not self._mix_flush_pending:
-            self._mix_flush_pending = True
+        if self._mix_flush_scheduled_epoch != self._mix_epoch:
+            epoch = self._mix_epoch
+            self._mix_flush_scheduled_epoch = epoch
             now = self._sim.now
             boundary = (int(now / interval) + 1) * interval
-            self._sim.schedule(boundary - now, self._flush_mix_pool)
+            self._sim.schedule(
+                boundary - now, lambda: self._flush_mix_pool(epoch)
+            )
 
-    def _flush_mix_pool(self) -> None:
-        self._mix_flush_pending = False
+    def _flush_mix_pool(self, epoch: int | None = None) -> None:
+        if epoch is not None and epoch != self._mix_epoch:
+            # Stale boundary callback from before a disable/re-enable
+            # transition: the pool it was scheduled for is gone.
+            return
+        self._mix_flush_scheduled_epoch = None
         pool, self._mix_pool = self._mix_pool, []
         if not pool:
             return
-        for _trace_id, next_hop, packet in sorted(pool, key=lambda h: h[0]):
-            self._forward(next_hop, packet)
+        for _trace_id, next_hop, packet, kind in sorted(pool, key=lambda h: h[0]):
+            self._forward(next_hop, packet, kind)
         self.telemetry.counter(
             "wcl.mix_flushed", node=self.node_id, layer="wcl"
         ).inc(len(pool))
 
-    def _forward(self, next_hop, packet: OnionPacket) -> None:
+    def _forward(self, next_hop, packet, kind: str = "wcl.onion") -> None:
         if next_hop.public_endpoint is not None:
             descriptor = NodeDescriptor(
                 node_id=next_hop.node_id,
@@ -430,15 +524,19 @@ class WhisperCommunicationLayer:
             )
             self.cm.ensure_session(
                 descriptor,
-                on_ready=lambda: self._forward_via_session(next_hop.node_id, packet),
+                on_ready=lambda: self._forward_via_session(
+                    next_hop.node_id, packet, kind
+                ),
                 on_fail=lambda reason: self._forward_failed(),
             )
         else:
-            self._forward_via_session(next_hop.node_id, packet)
+            self._forward_via_session(next_hop.node_id, packet, kind)
 
-    def _forward_via_session(self, node_id: NodeId, packet: OnionPacket) -> None:
+    def _forward_via_session(
+        self, node_id: NodeId, packet, kind: str = "wcl.onion"
+    ) -> None:
         if not self.cm.send_via_session(
-            node_id, "wcl.onion", packet, packet.wire_size, "wcl"
+            node_id, kind, packet, packet.wire_size, "wcl"
         ):
             self._forward_failed()
 
@@ -449,6 +547,425 @@ class WhisperCommunicationLayer:
         self.telemetry.counter(
             "wcl.forward_failures", node=self.node_id, layer="wcl"
         ).inc()
+
+    # ------------------------------------------------------------------
+    # circuit mode (amortized RSA: HORNET/Sphinx-style persistent paths)
+    # ------------------------------------------------------------------
+    def enable_circuits(self, lifetime: float = 600.0) -> None:
+        """Amortize path crypto: RSA once at setup, AES-only frames after.
+
+        A ``CircuitSetup`` onion installs per-hop symmetric keys keyed by
+        per-link circuit labels; once the destination's ack walks back,
+        ``send_to`` to that contact skips :func:`build_onion` entirely and
+        emits layered symmetric frames.  ``lifetime`` bounds how long any
+        hop honours the keys — the source treats its circuit as expired
+        after the same lifetime from *setup emission*, which is strictly
+        earlier than any hop's install-time deadline, and rekeys with a
+        fresh setup on the next send (rekey-on-refresh).
+        """
+        if lifetime <= 0:
+            raise ValueError(f"circuit lifetime must be positive, got {lifetime}")
+        self._circuit_mode = True
+        self._circuit_lifetime = lifetime
+
+    def disable_circuits(self) -> None:
+        """Back to per-message onions; open circuits are torn down."""
+        self._circuit_mode = False
+        for circuit in list(self._circuits.values()):
+            self._close_source_circuit(circuit, notify=True)
+
+    @property
+    def circuit_mode(self) -> bool:
+        return self._circuit_mode
+
+    def _try_circuit_send(
+        self,
+        contact: PrivateContact,
+        content: Any,
+        content_size: int,
+        exclude: set[tuple[NodeId, NodeId]],
+        context: str,
+        mixes: int,
+    ) -> AttemptInfo | None:
+        """Send on an established circuit, or lazily initiate one.
+
+        Returns None when the message must go per-message this time —
+        because no circuit exists yet (a setup may now be in flight), the
+        existing one expired (torn down + rekey initiated), or the caller
+        excluded this circuit's mix pair (a timeout implicates the path:
+        the circuit is torn down rather than retried).
+        """
+        circuit = self._circuits.get(contact.node_id)
+        now = self._sim.now
+        if circuit is not None:
+            if (circuit.first_mix, circuit.second_mix) in exclude:
+                self._close_source_circuit(circuit, notify=True)
+                return None
+            if now >= circuit.expires_at:
+                self._close_source_circuit(circuit, notify=False)
+                self.stats.circuit_rekeys += 1
+                self.telemetry.counter(
+                    "wcl.circuit_rekeys", node=self.node_id, layer="wcl"
+                ).inc()
+                circuit = None  # rekey: a fresh setup goes out below
+            elif len(circuit.keys) != mixes + 1:
+                # A different path length was requested; leave the circuit
+                # for its own callers and send this one per-message.
+                return None
+        if circuit is None:
+            self._open_circuit(contact, exclude, context, mixes)
+            return None
+        if not circuit.established:
+            return None
+        return self._send_on_circuit(circuit, content, content_size, context)
+
+    def _open_circuit(
+        self,
+        contact: PrivateContact,
+        exclude: set[tuple[NodeId, NodeId]],
+        context: str,
+        mixes: int,
+    ) -> None:
+        """Pick a path (same constraints as send_to) and emit the setup."""
+        pair = self._select_mixes(contact, exclude)
+        if pair is None:
+            return
+        first, second = pair
+        middles = self._select_middle_mixes(
+            mixes - 2, forbidden={first.node_id, second.node_id, contact.node_id},
+        )
+        if len(middles) < mixes - 2:
+            return
+        dest_endpoint = (
+            contact.descriptor.public_endpoint if contact.is_public else None
+        )
+        path = [HopSpec(first.node_id, first.key)]
+        path += [
+            HopSpec(
+                m.node_id, m.key, public_endpoint=m.descriptor.public_endpoint,
+            )
+            for m in middles
+        ]
+        path += [
+            HopSpec(
+                second.node_id, second.key,
+                public_endpoint=second.descriptor.public_endpoint,
+            ),
+            HopSpec(contact.node_id, contact.key, public_endpoint=dest_endpoint),
+        ]
+        keys = tuple(self.provider.new_symmetric_key() for _ in path)
+        labels = [self._new_circuit_label() for _ in path]
+        hops = [
+            CircuitHop(
+                circuit_id=labels[index],
+                key=keys[index],
+                next_circuit_id=(
+                    labels[index + 1] if index + 1 < len(path) else None
+                ),
+                lifetime=self._circuit_lifetime,
+            )
+            for index in range(len(path))
+        ]
+        build_start_ms = self._charged_ms()
+        packet = build_circuit_setup(
+            self.provider, path, hops, node=self.node_id, context=f"{context}.csetup",
+        )
+        build_ms = self._charged_ms() - build_start_ms
+        now = self._sim.now
+        self._circuits[contact.node_id] = _SourceCircuit(
+            contact_id=contact.node_id,
+            circuit_id=labels[0],
+            keys=keys,
+            first_mix=first.node_id,
+            second_mix=second.node_id,
+            middle_mixes=tuple(m.node_id for m in middles),
+            expires_at=now + self._circuit_lifetime,
+        )
+        self._circuit_by_id[labels[0]] = contact.node_id
+        self.stats.circuit_setups += 1
+        tel = self.telemetry
+        if tel.enabled:
+            span = tel.span_start(
+                f"{context}.circuit_setup", trace_id=packet.trace_id,
+                node=self.node_id, layer="wcl", ms=build_ms, hops=len(path),
+            )
+            tel.span_end(span, at=now + build_ms / 1000.0)
+            tel.counter("wcl.circuit_setups", node=self.node_id, layer="wcl").inc()
+        first_mix = first.node_id
+        self._sim.schedule(
+            build_ms / 1000.0,
+            lambda: self.cm.send_via_session(
+                first_mix, "wcl.circuit_setup", packet, packet.wire_size, "wcl"
+            ),
+        )
+
+    def _new_circuit_label(self) -> int:
+        """A fresh per-link circuit label (locally collision-checked)."""
+        while True:
+            label = self._rng.getrandbits(48)
+            if label not in self._circuit_by_id and label not in self._relay:
+                return label
+
+    def _send_on_circuit(
+        self,
+        circuit: _SourceCircuit,
+        content: Any,
+        content_size: int,
+        context: str,
+    ) -> AttemptInfo:
+        """The amortized data path: symmetric layer wrap, no RSA at all."""
+        wrap_start_ms = self._charged_ms()
+        body = self.provider.wrap_layers(
+            list(circuit.keys), content, content_size,
+            node=self.node_id, context=context,
+        )
+        wrap_ms = self._charged_ms() - wrap_start_ms
+        frame = CircuitFrame(
+            circuit_id=circuit.circuit_id, body=body,
+            trace_id=self.provider.next_trace_id(),
+        )
+        tel = self.telemetry
+        if tel.enabled:
+            span = tel.span_start(
+                f"{context}.cwrap", trace_id=frame.trace_id,
+                node=self.node_id, layer="wcl", ms=wrap_ms,
+                hops=len(circuit.keys),
+            )
+            tel.span_end(span, at=self._sim.now + wrap_ms / 1000.0)
+            tel.counter("wcl.sent", node=self.node_id, layer="wcl").inc()
+            tel.counter("wcl.circuit_sent", node=self.node_id, layer="wcl").inc()
+            tel.histogram("wcl.circuit_wrap_ms", layer="wcl").observe(wrap_ms)
+        first_mix = circuit.first_mix
+        self._sim.schedule(
+            wrap_ms / 1000.0,
+            lambda: self.cm.send_via_session(
+                first_mix, "wcl.circuit_data", frame, frame.wire_size, "wcl"
+            ),
+        )
+        self.stats.sent += 1
+        self.stats.circuit_sent += 1
+        return AttemptInfo(
+            first_mix=circuit.first_mix, second_mix=circuit.second_mix,
+            trace_id=frame.trace_id, middle_mixes=circuit.middle_mixes,
+        )
+
+    def _close_source_circuit(
+        self, circuit: _SourceCircuit, notify: bool
+    ) -> None:
+        self._circuits.pop(circuit.contact_id, None)
+        self._circuit_by_id.pop(circuit.circuit_id, None)
+        if notify:
+            self.cm.send_via_session(
+                circuit.first_mix, "wcl.circuit_teardown",
+                {"circuit": circuit.circuit_id}, sizes.circuit_header, "wcl",
+            )
+
+    # -- relay/destination side ----------------------------------------
+    def handle_circuit_setup(self, peer: NodeId, packet: CircuitSetupPacket) -> None:
+        """A setup onion arrived: install per-hop state, forward or ack."""
+        tel = self.telemetry
+        start_ms = self._charged_ms()
+        try:
+            layer, forward = peel_setup(
+                self.provider, self.keypair, packet,
+                node=self.node_id, context="wcl.peel",
+            )
+        except CryptoError:
+            self.stats.misrouted += 1
+            tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
+            return
+        decrypt_ms = self._charged_ms() - start_ms
+        hop = layer.hop
+        now = self._sim.now
+        self._sweep_expired_relays(now)
+        self._relay[hop.circuit_id] = _RelayCircuit(
+            key=hop.key,
+            next_hop=layer.next_hop,
+            next_circuit_id=hop.next_circuit_id,
+            prev_peer=peer,
+            expires_at=now + hop.lifetime,
+        )
+        if hop.next_circuit_id is not None:
+            self._relay_back[hop.next_circuit_id] = hop.circuit_id
+        if tel.enabled:
+            span = tel.span_start(
+                "wcl.circuit_install", trace_id=packet.trace_id,
+                node=self.node_id, layer="wcl", ms=decrypt_ms,
+                role="dest" if forward is None else "mix",
+            )
+            tel.span_end(span, at=now + decrypt_ms / 1000.0)
+            tel.counter(
+                "wcl.circuit_installed", node=self.node_id, layer="wcl"
+            ).inc()
+        delay = decrypt_ms / 1000.0
+        if forward is None:
+            # We are the destination: complete the handshake with an ack
+            # walking hop-by-hop back along the reverse labels.
+            circuit_id = hop.circuit_id
+            self._sim.schedule(
+                delay,
+                lambda: self.cm.send_via_session(
+                    peer, "wcl.circuit_ack",
+                    {"circuit": circuit_id}, sizes.circuit_header, "wcl",
+                ),
+            )
+            return
+        next_hop = layer.next_hop
+        assert next_hop is not None and forward is not None
+        # Setup onions are rare control traffic; they bypass batched
+        # mixing (which protects the data path's timing).
+        self._sim.schedule(
+            delay, lambda: self._forward(next_hop, forward, "wcl.circuit_setup")
+        )
+
+    def handle_circuit_ack(self, peer: NodeId, payload: dict) -> None:
+        """A backward setup ack: mark established, or relay further back."""
+        circuit_id = payload["circuit"]
+        contact_id = self._circuit_by_id.get(circuit_id)
+        if contact_id is not None:
+            circuit = self._circuits.get(contact_id)
+            if (
+                circuit is not None
+                and circuit.circuit_id == circuit_id
+                and not circuit.established
+            ):
+                circuit.established = True
+                self.telemetry.counter(
+                    "wcl.circuit_established", node=self.node_id, layer="wcl"
+                ).inc()
+            return
+        our_label = self._relay_back.get(circuit_id)
+        if our_label is None:
+            return  # stale or unknown: a mix never complains
+        entry = self._relay.get(our_label)
+        if entry is None:
+            return
+        self.cm.send_via_session(
+            entry.prev_peer, "wcl.circuit_ack",
+            {"circuit": our_label}, sizes.circuit_header, "wcl",
+        )
+
+    def handle_circuit_data(self, frame: CircuitFrame) -> None:
+        """A data frame: unwrap our layer, deliver or relabel + forward."""
+        tel = self.telemetry
+        entry = self._relay.get(frame.circuit_id)
+        if entry is None:
+            # Unknown label: the circuit-mode analogue of an onion that
+            # does not open with our key.
+            self.stats.misrouted += 1
+            tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
+            return
+        now = self._sim.now
+        if now >= entry.expires_at:
+            self._drop_relay_entry(frame.circuit_id, entry)
+            self.stats.circuit_expired += 1
+            tel.counter(
+                "wcl.circuit_expired", node=self.node_id, layer="wcl"
+            ).inc()
+            return
+        start_ms = self._charged_ms()
+        try:
+            result = self.provider.unwrap_layer(
+                entry.key, frame.body, node=self.node_id, context="wcl.cunwrap",
+            )
+        except CryptoError:
+            self.stats.misrouted += 1
+            tel.counter("wcl.misrouted", node=self.node_id, layer="wcl").inc()
+            return
+        unwrap_ms = self._charged_ms() - start_ms
+        delay = unwrap_ms / 1000.0
+        if tel.enabled:
+            span = tel.span_start(
+                "wcl.cunwrap", trace_id=frame.trace_id, node=self.node_id,
+                layer="wcl", ms=unwrap_ms,
+                role="dest" if entry.next_hop is None else "mix",
+            )
+            tel.span_end(span, at=now + delay)
+            tel.histogram("wcl.cunwrap_ms", layer="wcl").observe(unwrap_ms)
+        if entry.next_hop is None:
+            # We are the destination; the unwrap returned the content.
+            self.stats.delivered += 1
+            self.stats.circuit_delivered += 1
+            if tel.enabled:
+                tel.instant(
+                    "wcl.delivered", trace_id=frame.trace_id,
+                    node=self.node_id, layer="wcl",
+                )
+                tel.counter("wcl.delivered", node=self.node_id, layer="wcl").inc()
+                tel.counter(
+                    "wcl.circuit_delivered", node=self.node_id, layer="wcl"
+                ).inc()
+            if self._receive_upcall is not None:
+                upcall = self._receive_upcall
+                content, size = result, frame.body.size_bytes
+                self._sim.schedule(delay, lambda: upcall(content, size))
+            return
+        assert isinstance(result, LayeredPayload)
+        assert entry.next_circuit_id is not None
+        forward = CircuitFrame(
+            circuit_id=entry.next_circuit_id, body=result,
+            trace_id=frame.trace_id,
+        )
+        self.stats.forwarded += 1
+        self.stats.circuit_forwarded += 1
+        tel.counter("wcl.forwarded", node=self.node_id, layer="wcl").inc()
+        tel.counter("wcl.circuit_forwarded", node=self.node_id, layer="wcl").inc()
+        next_hop = entry.next_hop
+        if self._mix_batch_interval is None:
+            self._sim.schedule(
+                delay, lambda: self._forward(next_hop, forward, "wcl.circuit_data")
+            )
+        else:
+            self._sim.schedule(
+                delay,
+                lambda: self._hold_for_mixing(next_hop, forward, "wcl.circuit_data"),
+            )
+
+    def handle_circuit_teardown(self, payload: dict) -> None:
+        """Explicit teardown walking the forward direction."""
+        circuit_id = payload["circuit"]
+        entry = self._relay.pop(circuit_id, None)
+        if entry is None:
+            return
+        if entry.next_circuit_id is not None:
+            self._relay_back.pop(entry.next_circuit_id, None)
+        self.telemetry.counter(
+            "wcl.circuit_torn_down", node=self.node_id, layer="wcl"
+        ).inc()
+        if entry.next_hop is None or entry.next_circuit_id is None:
+            return
+        next_hop, next_label = entry.next_hop, entry.next_circuit_id
+        send = lambda: self.cm.send_via_session(  # noqa: E731
+            next_hop.node_id, "wcl.circuit_teardown",
+            {"circuit": next_label}, sizes.circuit_header, "wcl",
+        )
+        if next_hop.public_endpoint is not None:
+            descriptor = NodeDescriptor(
+                node_id=next_hop.node_id,
+                kind=NodeKind.PUBLIC,
+                nat_type=NatType.OPEN,
+                public_endpoint=next_hop.public_endpoint,
+            )
+            self.cm.ensure_session(
+                descriptor, on_ready=send, on_fail=lambda reason: None
+            )
+        else:
+            send()
+
+    def _drop_relay_entry(self, circuit_id: int, entry: _RelayCircuit) -> None:
+        self._relay.pop(circuit_id, None)
+        if entry.next_circuit_id is not None:
+            self._relay_back.pop(entry.next_circuit_id, None)
+
+    def _sweep_expired_relays(self, now: float) -> None:
+        """Drop relay entries past their deadline (bounds idle state)."""
+        expired = [
+            (circuit_id, entry)
+            for circuit_id, entry in self._relay.items()
+            if now >= entry.expires_at
+        ]
+        for circuit_id, entry in expired:
+            self._drop_relay_entry(circuit_id, entry)
 
     # ------------------------------------------------------------------
     def _charged_ms(self) -> float:

@@ -139,6 +139,22 @@ class CpuAccountant:
             node, "aes", self._jitter(self.model.aes_ms(size_bytes)), context
         )
 
+    def aes_layers(
+        self, node: NodeId, size_bytes: int, layers: int, context: str = ""
+    ) -> float:
+        """``layers`` symmetric passes over one body, charged as one op.
+
+        The circuit-mode wrap runs all layers in a single compiled kernel,
+        so the model charges the combined cost with a single record update
+        and one jitter draw (the layers execute back-to-back under the
+        same load conditions).  The op name stays ``aes`` so Table II's
+        AES-vs-RSA breakdown aggregates circuit traffic naturally.
+        """
+        return self.charge(
+            node, "aes",
+            self._jitter(self.model.aes_ms(size_bytes) * layers), context,
+        )
+
     # -- reporting
     def node_total_ms(self, node: NodeId, op_prefix: str = "") -> float:
         """Total milliseconds charged to ``node`` for ops matching the prefix."""

@@ -19,6 +19,7 @@ code paths are identical.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import random
 from abc import ABC, abstractmethod
@@ -29,7 +30,7 @@ from ..net.address import NodeId
 from . import rsa
 from .aes import ctr_transform
 from .costmodel import CpuAccountant
-from .stream import stream_transform, tag, verify_tag
+from .stream import layered_wrap, stream_transform, tag, verify_tag
 
 __all__ = [
     "CryptoError",
@@ -37,6 +38,7 @@ __all__ = [
     "KeyPair",
     "Sealed",
     "EncryptedPayload",
+    "LayeredPayload",
     "CryptoProvider",
     "RealCryptoProvider",
     "SimCryptoProvider",
@@ -84,12 +86,38 @@ class EncryptedPayload:
     size_bytes: int
 
 
+@dataclass(frozen=True)
+class LayeredPayload:
+    """A circuit-mode body under N symmetric layers (outermost first).
+
+    ``auths[0]`` authenticates the ciphertext as the *current* outermost
+    hop receives it; unwrapping one layer strips ``auths[0]`` and yields
+    either another :class:`LayeredPayload` (a mix) or the plaintext object
+    (the destination, when one auth remains).  ``size_bytes`` is the body's
+    wire-size model and does not shrink per hop — only the per-layer MACs
+    (accounted by the frame's ``wire_size``) come off.
+    """
+
+    blob: Any
+    auths: tuple
+    size_bytes: int
+
+
 class CryptoProvider(ABC):
     """Factory + operations; charges the CPU accountant when one is set."""
 
     def __init__(self, rng: random.Random, accountant: CpuAccountant | None = None) -> None:
         self._rng = rng
         self.accountant = accountant if accountant is not None else CpuAccountant()
+        # Measurement-only trace ids (onion correlation for Fig. 7).  One
+        # counter per provider — i.e. per World, since a World builds
+        # exactly one provider — so two Worlds in one process draw the
+        # same id sequences as two separate processes would.
+        self._trace_ids = itertools.count(1)
+
+    def next_trace_id(self) -> int:
+        """Next measurement trace id (provider-scoped, starts at 1)."""
+        return next(self._trace_ids)
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -115,6 +143,26 @@ class CryptoProvider(ABC):
     def decrypt_payload(self, key: bytes, enc: EncryptedPayload, *,
                         node: NodeId = -1, context: str = "") -> Any:
         """Invert :meth:`encrypt_payload`; raises CryptoError on mismatch."""
+
+    def wrap_layers(self, keys: list[bytes], obj: Any, size_hint: int, *,
+                    node: NodeId = -1, context: str = "") -> LayeredPayload:
+        """Encrypt ``obj`` under every key in ``keys`` (outermost first).
+
+        The circuit-mode data path: symmetric crypto only, one layer per
+        hop, each layer independently authenticated so a hop detects a
+        wrong/expired key exactly like :meth:`decrypt_payload` does.
+        """
+        raise NotImplementedError
+
+    def unwrap_layer(self, key: bytes, layered: LayeredPayload, *,
+                     node: NodeId = -1, context: str = "") -> Any:
+        """Strip one layer; the plaintext object when it was the last.
+
+        Returns a :class:`LayeredPayload` while layers remain, the
+        decrypted object at the destination.  Raises :class:`CryptoError`
+        when ``key`` does not authenticate the outermost layer.
+        """
+        raise NotImplementedError
 
     @abstractmethod
     def sign(self, keypair: KeyPair, obj: Any, *, node: NodeId = -1,
@@ -216,6 +264,50 @@ class RealCryptoProvider(CryptoProvider):
         except Exception as exc:
             raise CryptoError("payload corrupt") from exc
 
+    def wrap_layers(self, keys, obj, size_hint, *, node=-1, context=""):
+        if not keys:
+            raise ValueError("wrap_layers needs at least one key")
+        body = pickle.dumps(obj)
+        nonces = tuple(self.new_nonce() for _ in keys)
+        if self._use_aes:
+            ciphertexts: list[bytes] = []
+            data = body
+            for index in range(len(keys) - 1, -1, -1):
+                data = ctr_transform(keys[index], nonces[index], data)
+                ciphertexts.append(data)
+            ciphertexts.reverse()
+        else:
+            # The compiled big-int kernel: every intermediate ciphertext in
+            # one pass (each hop MACs the ciphertext it will receive).
+            ciphertexts = layered_wrap(keys, nonces, body)
+        auths = tuple(
+            tag(key, ciphertext)
+            for key, ciphertext in zip(keys, ciphertexts)
+        )
+        self.accountant.aes_layers(
+            node, max(len(body), size_hint), len(keys), context
+        )
+        return LayeredPayload(
+            blob=(nonces, ciphertexts[0]), auths=auths,
+            size_bytes=max(len(body), size_hint),
+        )
+
+    def unwrap_layer(self, key, layered, *, node=-1, context=""):
+        nonces, ciphertext = layered.blob
+        if not layered.auths or not verify_tag(key, ciphertext, layered.auths[0]):
+            raise CryptoError("circuit layer authentication failed")
+        inner = self._bulk(key, nonces[0], ciphertext)
+        self.accountant.aes(node, layered.size_bytes, context)
+        if len(layered.auths) == 1:
+            try:
+                return pickle.loads(inner)
+            except Exception as exc:
+                raise CryptoError("circuit payload corrupt") from exc
+        return LayeredPayload(
+            blob=(nonces[1:], inner), auths=layered.auths[1:],
+            size_bytes=layered.size_bytes,
+        )
+
     def sign(self, keypair, obj, *, node=-1, context=""):
         self.accountant.rsa_sign(node, context)
         return rsa.sign(keypair.secret, _canonical(obj))
@@ -278,6 +370,39 @@ class SimCryptoProvider(CryptoProvider):
             raise CryptoError("payload key mismatch")
         self.accountant.aes(node, enc.size_bytes, context)
         return enc.blob
+
+    def wrap_layers(self, keys, obj, size_hint, *, node=-1, context=""):
+        if not keys:
+            raise ValueError("wrap_layers needs at least one key")
+        # MAC chain standing in for nested encryption: layer i tags the
+        # next layer's tag (innermost tags the canonical body), so each
+        # hop's key check composes exactly like peeling real ciphertext.
+        body = _value_canonical(obj)
+        chain = [tag(keys[-1], body)]
+        for index in range(len(keys) - 2, -1, -1):
+            chain.append(tag(keys[index], chain[-1]))
+        self.accountant.aes_layers(
+            node, max(len(body), size_hint), len(keys), context
+        )
+        return LayeredPayload(
+            blob=obj, auths=tuple(reversed(chain)), size_bytes=size_hint
+        )
+
+    def unwrap_layer(self, key, layered, *, node=-1, context=""):
+        auths = layered.auths
+        if not auths:
+            raise CryptoError("circuit layer authentication failed")
+        inner_ref = (
+            auths[1] if len(auths) > 1 else _value_canonical(layered.blob)
+        )
+        if not verify_tag(key, inner_ref, auths[0]):
+            raise CryptoError("circuit layer key mismatch")
+        self.accountant.aes(node, layered.size_bytes, context)
+        if len(auths) == 1:
+            return layered.blob
+        return LayeredPayload(
+            blob=layered.blob, auths=auths[1:], size_bytes=layered.size_bytes
+        )
 
     def sign(self, keypair, obj, *, node=-1, context=""):
         self.accountant.rsa_sign(node, context)

@@ -110,6 +110,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) unless each countermeasure reduces its attack's "
              "success below the baseline (anonymity)",
     )
+    parser.add_argument(
+        "--circuits", action="store_true", default=None,
+        help="also measure the circuit-mode (amortized RSA) variant "
+             "(table2)",
+    )
     args = parser.parse_args(argv)
     workers = args.workers
     if workers == 0:
@@ -136,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
         # Soak-style flags travel only to experiments that declare them.
         for flag in (
             "nodes", "fault_plan", "trace_out", "route_floor", "attack_gate",
+            "circuits",
         ):
             value = getattr(args, flag)
             if value is not None and flag in params:

@@ -91,6 +91,8 @@ class WireSizes:
     node_descriptor: int = 32  # id + endpoint + flags + age
     view_entry: int = 40  # descriptor + freshness metadata
     onion_layer_overhead: int = 128  # RSA-sealed (key, next-hop) header
+    circuit_header: int = 16  # circuit id + framing of a circuit data frame
+    circuit_layer_mac: int = 32  # per-layer MAC on a circuit data frame
     passport: int = 160  # node id signed with the group key
     gossip_header: int = 24
     connect_control: int = 48  # hole-punching control packets

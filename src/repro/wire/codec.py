@@ -57,9 +57,18 @@ from ..core.contact import Gateway, PrivateContact
 from ..core.election import Heartbeat, Proposal
 from ..core.group import Accreditation, Invitation, Passport
 from ..core.lru import LruCache
-from ..core.onion import HopSpec, NextHop, OnionLayer, OnionPacket
+from ..core.onion import (
+    CircuitFrame,
+    CircuitHop,
+    CircuitSetupLayer,
+    CircuitSetupPacket,
+    HopSpec,
+    NextHop,
+    OnionLayer,
+    OnionPacket,
+)
 from ..core.ppss import PrivateViewEntry
-from ..crypto.provider import EncryptedPayload, PublicKey, Sealed
+from ..crypto.provider import EncryptedPayload, LayeredPayload, PublicKey, Sealed
 from ..crypto.rsa import RsaPublicKey
 from ..nat.traversal import NodeDescriptor
 from ..nat.types import NatType
@@ -130,6 +139,11 @@ _STRUCT_TABLE: list[tuple[int, type]] = [
     (17, Invitation),
     (18, Heartbeat),
     (19, Proposal),
+    (20, LayeredPayload),
+    (21, CircuitHop),
+    (22, CircuitSetupLayer),
+    (23, CircuitSetupPacket),
+    (24, CircuitFrame),
 ]
 
 _ENUM_TABLE: list[tuple[int, type]] = [

@@ -48,7 +48,7 @@ from .codec import (
     decode_value,
     value_size,
 )
-from ..core.onion import OnionPacket
+from ..core.onion import CircuitFrame, CircuitSetupPacket, OnionPacket
 
 __all__ = [
     "WIRE_VERSION",
@@ -185,6 +185,11 @@ _SPECS: tuple[MessageSpec, ...] = (
         "group.welcome", 23, "wcl",
         required=("type", "group", "passport", "key_history", "seed"),
     ),
+    # --- session kinds: circuit-mode WCL (amortized RSA) -------------------
+    _spec("wcl.circuit_setup", 24, "wcl", payload_type=CircuitSetupPacket),
+    _spec("wcl.circuit_data", 25, "wcl", payload_type=CircuitFrame),
+    _spec("wcl.circuit_ack", 26, "wcl", required=("circuit",)),
+    _spec("wcl.circuit_teardown", 27, "wcl", required=("circuit",)),
 )
 
 _SPEC_BY_KIND: dict[str, MessageSpec] = {s.kind: s for s in _SPECS}

@@ -20,7 +20,7 @@ from ..core.group import (
     issue_accreditation,
     issue_passport,
 )
-from ..core.onion import HopSpec, build_onion
+from ..core.onion import CircuitFrame, CircuitHop, HopSpec, build_circuit_setup, build_onion
 from ..core.ppss import PrivateViewEntry
 from ..crypto.provider import CryptoProvider, SimCryptoProvider
 from ..nat.traversal import NodeDescriptor
@@ -139,6 +139,41 @@ class SampleContext:
             ),
         }
 
+    def circuit_setup(self):
+        path = [
+            HopSpec(
+                node_id=self.node_id(),
+                public_key=self.public_key(),
+                public_endpoint=self.endpoint() if self.rng.random() < 0.5 else None,
+            )
+            for _ in range(self.rng.randrange(2, 4))
+        ]
+        labels = [self.rng.getrandbits(48) for _ in path]
+        hops = [
+            CircuitHop(
+                circuit_id=labels[index],
+                key=self.provider.new_symmetric_key(),
+                next_circuit_id=labels[index + 1] if index + 1 < len(path) else None,
+                lifetime=float(self.rng.randrange(60, 1200)),
+            )
+            for index in range(len(path))
+        ]
+        return build_circuit_setup(self.provider, path, hops)
+
+    def circuit_frame(self):
+        keys = [
+            self.provider.new_symmetric_key()
+            for _ in range(self.rng.randrange(2, 5))
+        ]
+        body = self.provider.wrap_layers(
+            keys, self._exchange_body("ppss.request"), 256
+        )
+        return CircuitFrame(
+            circuit_id=self.rng.getrandbits(48),
+            body=body,
+            trace_id=self.provider.next_trace_id(),
+        )
+
     def onion(self):
         path = [
             HopSpec(
@@ -228,6 +263,10 @@ _BUILDERS: dict[str, Callable[[SampleContext], Any]] = {
     "pss.request": lambda ctx: ctx._gossip_body(),
     "pss.response": lambda ctx: ctx._gossip_body(),
     "wcl.onion": lambda ctx: ctx.onion(),
+    "wcl.circuit_setup": lambda ctx: ctx.circuit_setup(),
+    "wcl.circuit_data": lambda ctx: ctx.circuit_frame(),
+    "wcl.circuit_ack": lambda ctx: {"circuit": ctx.rng.getrandbits(48)},
+    "wcl.circuit_teardown": lambda ctx: {"circuit": ctx.rng.getrandbits(48)},
     "wcl.cb_probe": lambda ctx: {"sender": ctx.descriptor()},
     "wcl.cb_probe_ack": lambda ctx: {"sender": ctx.descriptor(), "key": ctx.public_key()},
     "ppss.request": lambda ctx: ctx._exchange_body("ppss.request"),
