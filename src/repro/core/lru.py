@@ -70,6 +70,24 @@ class LruCache:
         data[key] = value
         return value
 
+    def lookup(self, key: Any, default: Any = None) -> Any:
+        """Counted lookup without the move-to-front recency update.
+
+        For caches whose capacity is derived to exceed the working set
+        (owner hints, latency load factors at world scale) the recency
+        bookkeeping is pure overhead: eviction never fires, so recency
+        order is unobservable.  Hit/miss counters behave exactly like
+        :meth:`get`; if such a cache ever does overflow, eviction order
+        degrades from LRU to FIFO-of-insertion, which is still
+        deterministic.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
     def peek(self, key: Any, default: Any = None) -> Any:
         """Look up ``key`` without touching recency or counters."""
         return self._data.get(key, default)

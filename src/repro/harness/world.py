@@ -131,9 +131,19 @@ class World:
         self.registry.stream("natplan").shuffle(plan)
         return plan
 
-    def add_node(self, nat_type: NatType | None = None) -> WhisperNode:
-        """Create one node (not yet started)."""
-        node_id = next(self._ids)
+    def add_node(
+        self, nat_type: NatType | None = None, node_id: NodeId | None = None
+    ) -> WhisperNode:
+        """Create one node (not yet started).
+
+        ``node_id`` overrides the world's own dense id sequence — a sharded
+        deployment assigns *global* ids and registers each one with the
+        partition that owns it, so ids (and everything derived from them:
+        RNG fork names, endpoint hosts, latency keys) are identical no
+        matter how the population is partitioned.
+        """
+        if node_id is None:
+            node_id = next(self._ids)
         if nat_type is None:
             nat_type = self._draw_nat_type()
         self.topology.add_node(node_id, nat_type)
@@ -186,9 +196,18 @@ class World:
         return list(self._introducers)
 
     def start_all(self) -> None:
+        # Resolve the introducer set once: it is stable for the duration of
+        # a bulk start (the first call fills it to introducer_count and no
+        # node departs mid-loop), and introducers() walks the whole
+        # population — calling it per node made start_all O(N^2), which at
+        # 100k nodes dominated world construction.  Each node still gets
+        # its own list copy, exactly what introducers() handed out before.
+        introducers: list[NodeDescriptor] | None = None
         for node in self.nodes.values():
             if not node.alive:
-                node.start(self.introducers())
+                if introducers is None:
+                    introducers = self.introducers()
+                node.start(list(introducers))
 
     def spawn_started(self, nat_type: NatType | None = None) -> WhisperNode:
         """Add a node and start it immediately (churn arrivals).

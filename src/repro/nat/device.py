@@ -66,6 +66,14 @@ class NatDevice:
         self._cone: dict[tuple[Endpoint, Protocol], Mapping] = {}
         self._sym: dict[tuple[Endpoint, Endpoint, Protocol], Mapping] = {}
         self._by_port: dict[tuple[int, Protocol], Mapping] = {}
+        # Single-slot caches for the fabric hot path.  A simulated device
+        # fronts one internal endpoint talking mostly UDP, so the last-used
+        # mapping answers nearly every translate/filter without building a
+        # tuple key and hashing into the tables.  The slots are advisory: a
+        # miss falls through to the full lookup, and eviction/reset clears
+        # them so they can never serve a dead mapping.
+        self._out_slot: Mapping | None = None
+        self._in_slot: Mapping | None = None
         self.dropped_inbound = 0  # filtered packets, for diagnostics
 
     # ------------------------------------------------------------------
@@ -76,6 +84,10 @@ class NatDevice:
         return now > mapping.expires_at
 
     def _evict(self, mapping: Mapping) -> None:
+        if self._out_slot is mapping:
+            self._out_slot = None
+        if self._in_slot is mapping:
+            self._in_slot = None
         self._by_port.pop((mapping.external_port, mapping.protocol), None)
         if self.nat_type.is_symmetric:
             assert mapping.bound_remote is not None
@@ -112,6 +124,18 @@ class NatDevice:
 
         Returns the external endpoint the remote will observe as the source.
         """
+        m = self._out_slot
+        if (
+            m is not None
+            and m.internal is internal  # topology interns the endpoint object
+            and m.protocol is protocol
+            and now <= m.expires_at
+            and (m.bound_remote is None or m.bound_remote == remote)
+        ):
+            m.expires_at = now + self._leases[protocol]
+            m.contacted_hosts.add(remote.host)
+            m.contacted_endpoints.add(remote)
+            return m.external
         if self.nat_type.is_symmetric:
             mapping = self._sym.get((internal, remote, protocol))
         else:
@@ -127,6 +151,7 @@ class NatDevice:
         external = mapping.external
         if external is None:  # mapping predates the cache (restored state)
             external = mapping.external = Endpoint(self.public_host, mapping.external_port)
+        self._out_slot = mapping
         return external
 
     def inbound(
@@ -138,6 +163,18 @@ class NatDevice:
         packet must be silently dropped (no mapping, expired lease, or the
         source fails the type's filtering rule).
         """
+        m = self._in_slot
+        if (
+            m is not None
+            and m.external_port == external_port
+            and m.protocol is protocol
+            and now <= m.expires_at
+        ):
+            if not self._admits(m, source):
+                self.dropped_inbound += 1
+                return None
+            m.expires_at = now + self._leases[protocol]
+            return m.internal
         mapping = self._by_port.get((external_port, protocol))
         if mapping is None:
             self.dropped_inbound += 1
@@ -146,6 +183,7 @@ class NatDevice:
             self._evict(mapping)
             self.dropped_inbound += 1
             return None
+        self._in_slot = mapping
         if not self._admits(mapping, source):
             self.dropped_inbound += 1
             return None
@@ -177,6 +215,8 @@ class NatDevice:
         self._cone.clear()
         self._sym.clear()
         self._by_port.clear()
+        self._out_slot = None
+        self._in_slot = None
         return wiped
 
     # ------------------------------------------------------------------

@@ -64,8 +64,19 @@ class NatTopology:
         self._natted_fraction = natted_fraction
         self._nat_types = nat_types
         self._assignments: dict[NodeId, NatAssignment] = {}
-        self._public_owner: dict[str, NodeId] = {}  # public host -> node
-        self._nat_owner: dict[str, NodeId] = {}  # nat host -> node behind it
+        # Struct-of-arrays mirror of the assignment table, indexed directly
+        # by node id (ids are dense: the World allocates them 1, 2, 3, ...).
+        # The fabric's per-send path resolves a sender through two list
+        # indexes instead of a dict probe + two attribute loads, and the
+        # compiled Network.send binds these lists once — their identity must
+        # never change (grown by extend, entries nulled on removal).
+        self._local: list[Endpoint | None] = []
+        self._device: list[NatDevice | None] = []
+        # Reachable host -> (owner node, fronting device or None for public
+        # endpoints): one probe answers both "who owns it" and "how is it
+        # filtered", where the fabric previously probed public and NAT owner
+        # tables separately and re-fetched the assignment for the device.
+        self._owner: dict[str, tuple[NodeId, NatDevice | None]] = {}
 
     # ------------------------------------------------------------------
     # population
@@ -78,18 +89,27 @@ class NatTopology:
         """
         if node_id in self._assignments:
             raise ValueError(f"node {node_id} already registered")
+        if node_id < 0:
+            raise ValueError(f"node ids must be non-negative, got {node_id}")
         if nat_type is None:
             nat_type = self._draw_type()
         if nat_type.is_natted:
             device = NatDevice(nat_id=node_id, nat_type=nat_type)
             local = Endpoint(f"priv-{node_id}", _NODE_PORT)
-            self._nat_owner[device.public_host] = node_id
+            self._owner[device.public_host] = (node_id, device)
         else:
             device = None
             local = Endpoint(f"pub-{node_id}", _NODE_PORT)
-            self._public_owner[local.host] = node_id
+            self._owner[local.host] = (node_id, None)
         assignment = NatAssignment(node_id, nat_type, device, local)
         self._assignments[node_id] = assignment
+        locals_, devices = self._local, self._device
+        if node_id >= len(locals_):
+            pad = node_id + 1 - len(locals_)
+            locals_.extend([None] * pad)
+            devices.extend([None] * pad)
+        locals_[node_id] = local
+        devices[node_id] = device
         return assignment
 
     def remove_node(self, node_id: NodeId) -> None:
@@ -98,9 +118,11 @@ class NatTopology:
         if assignment is None:
             return
         if assignment.device is not None:
-            self._nat_owner.pop(assignment.device.public_host, None)
+            self._owner.pop(assignment.device.public_host, None)
         else:
-            self._public_owner.pop(assignment.local_endpoint.host, None)
+            self._owner.pop(assignment.local_endpoint.host, None)
+        self._local[node_id] = None
+        self._device[node_id] = None
 
     def _draw_type(self) -> NatType:
         if self._rng.random() < self._natted_fraction:
@@ -149,28 +171,29 @@ class NatTopology:
         per-send hot path, which would otherwise pay ``knows()`` plus
         ``translate_outbound()`` as two assignment-table lookups.
         """
-        assignment = self._assignments.get(node_id)
-        if assignment is None:
+        if node_id < 0:  # pseudo-node; would wrap as a list index
             return None
-        if assignment.device is None:
-            return assignment.local_endpoint
-        return assignment.device.outbound(
-            assignment.local_endpoint, remote, protocol, now
-        )
+        try:
+            local = self._local[node_id]
+        except IndexError:
+            return None
+        if local is None:
+            return None
+        device = self._device[node_id]
+        if device is None:
+            return local
+        return device.outbound(local, remote, protocol, now)
 
     def resolve_inbound(
         self, dst: Endpoint, source: Endpoint, protocol: Protocol, now: float
     ) -> NodeId | None:
         """Owner node of ``dst``, after NAT filtering; ``None`` if dropped."""
-        host = dst.host
-        owner = self._public_owner.get(host)
-        if owner is not None:
-            return owner
-        owner = self._nat_owner.get(host)
-        if owner is None:
+        entry = self._owner.get(dst.host)
+        if entry is None:
             return None  # destination departed
-        device = self._assignments[owner].device
-        assert device is not None
+        owner, device = entry
+        if device is None:
+            return owner
         internal = device.inbound(dst.port, source, protocol, now)
         if internal is None:
             return None

@@ -51,6 +51,20 @@ class LatencyModel(ABC):
         """
         return {}
 
+    def fastpath_spec(self) -> dict[str, object] | None:
+        """Constants for the fabric's compiled send path, or ``None``.
+
+        Models whose per-message work is a closed-form expression (no loss,
+        no per-pair state) expose their bound constants here so
+        :class:`~repro.net.network.Network` can inline the delay computation
+        into its generated ``send`` and skip the ``is_lost``/``delay`` calls
+        entirely.  Models with loss or memoized state return ``None`` and go
+        through the virtual calls.  The inlined expression must reproduce
+        this model's RNG draws *exactly* (same stream, same order) — traces
+        are byte-compared against the uncompiled pipeline.
+        """
+        return None
+
 
 class FixedLatencyModel(LatencyModel):
     """Constant delay, no loss.  For unit tests where timing must be exact."""
@@ -63,6 +77,11 @@ class FixedLatencyModel(LatencyModel):
 
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
         return False
+
+    def fastpath_spec(self) -> dict[str, object] | None:
+        if type(self) is not FixedLatencyModel:  # subclass may override delay()
+            return None
+        return {"kind": "fixed", "delay": self._delay}
 
 
 class ClusterLatencyModel(LatencyModel):
@@ -98,6 +117,22 @@ class ClusterLatencyModel(LatencyModel):
 
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
         return False
+
+    def fastpath_spec(self) -> dict[str, object] | None:
+        if type(self) is not ClusterLatencyModel:  # subclass may override delay()
+            return None
+        return {
+            "kind": "cluster",
+            "base": self._base,
+            # The generated code must keep the exact `size * 8 / bw`
+            # evaluation order: folding it to `size * (8 / bw)` changes the
+            # result in the last ulp, and delays feed the event clock that
+            # traces are byte-compared on.
+            "bw": self._bw,
+            "mu": self._mu,
+            "sigma": self._sigma,
+            "lognorm": self._lognorm,
+        }
 
 
 class PlanetLabLatencyModel(LatencyModel):
@@ -138,7 +173,9 @@ class PlanetLabLatencyModel(LatencyModel):
         }
 
     def _load_factor(self, node: NodeId) -> float:
-        factor = self._load.get(node)
+        # lookup(), not get(): capacity exceeds any working set we run, so
+        # the LRU move-to-front would be dead weight four times per message.
+        factor = self._load.lookup(node)
         if factor is None:
             if self._rng.random() < self._slow_fraction:
                 factor = self._rng.uniform(5.0, 20.0)
@@ -149,7 +186,7 @@ class PlanetLabLatencyModel(LatencyModel):
 
     def _base_delay(self, src: NodeId, dst: NodeId) -> float:
         key = (min(src, dst), max(src, dst))
-        base = self._pair_base.get(key)
+        base = self._pair_base.lookup(key)
         if base is None:
             # Exponential spread around the mean, floored at the minimum:
             # mimics a mix of continental and intercontinental paths.

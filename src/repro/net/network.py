@@ -10,17 +10,32 @@ Bandwidth is charged per message (upload at the sender always, download at
 the receiver only on successful delivery), and link observers are notified
 of everything that touches the wire — including packets later dropped by an
 ingress filter, since a wiretap sees those too.
+
+The per-message pipeline is *compiled*: ``send`` and ``_deliver`` are
+generated with ``exec`` (the wire codec's fast-path idiom) and specialized
+on the fabric configuration — wire mode, telemetry on/off, fault hook,
+observers, latency model.  Branches for disabled features are omitted from
+the bytecode instead of tested per message, and all per-node state resolves
+through the struct-of-arrays tables the NAT topology and bandwidth
+accountant maintain (dense lists indexed by node id) rather than per-node
+dicts and objects.  Reconfiguring the fabric (``set_wire_mode``,
+``set_fault_hook``, ``add_observer``) recompiles; the generated code binds
+the backing lists/dicts by identity, which is why those structures are
+grown and cleared in place everywhere.  The compiled paths replicate the
+uncompiled pipeline's RNG draws, counter updates and schedule order
+exactly — traces are byte-compared against pre-compilation runs.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import zlib
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Protocol as TypingProtocol
 
 from ..core.lru import LruCache
-from ..sim.engine import Simulator
+from ..sim.engine import Event, SimulationError, Simulator
 from ..telemetry import NULL_TELEMETRY
 
 if TYPE_CHECKING:  # avoid a runtime net <-> nat import cycle
@@ -36,12 +51,13 @@ __all__ = ["Network", "NetworkStats", "FaultHook"]
 
 Handler = Callable[[Message], None]
 
-# LRU bounds for the fabric's memoization caches.  Sized to hold every
-# live node of the largest experiment (`scale` runs 5,000) with headroom,
-# so eviction only kicks in on very long churny runs where hosts are
-# minted indefinitely.
-OWNER_HINT_CACHE_SIZE = 16_384
-ENCODE_CACHE_SIZE = 8_192
+# Floors for the fabric's memoization caches.  The effective bound is
+# derived from world size as nodes attach (see Network.attach): hard caps
+# sized for the 5,000-node `scale` run thrashed every cycle at 100k nodes.
+# Below the floor the bounds match the historical constants exactly, so
+# small-world traces are unaffected.
+OWNER_HINT_CACHE_FLOOR = 16_384
+ENCODE_CACHE_FLOOR = 8_192
 
 
 class FaultHook(TypingProtocol):
@@ -91,18 +107,22 @@ class Network:
         self.accountant = accountant if accountant is not None else BandwidthAccountant()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._handlers: dict[NodeId, Handler] = {}
+        # Dense handler table mirroring _handlers, indexed by node id — the
+        # delivery path's owner lookup.  Grown in place (compiled code binds
+        # the list object).
+        self._handler_arr: list[Handler | None] = []
         self._observers: list[LinkObserver] = []
         self._fault_hook: FaultHook | None = None
+        self._foreign_router: Callable[[NodeId, Message, str, float], None] | None = None
         self.stats = NetworkStats()
         # Per-network message ids: a second Network (second World) in the
         # same process draws from its own sequence, keeping trace exports
         # independent of unrelated activity.
         self._msg_ids = itertools.count()
         # host -> owner id; hosts are stable for a node's lifetime, so this
-        # memoizes the parse/crc32 in _owner_hint.  Bounded LRU: long churny
-        # runs mint fresh hosts forever, and before PR 5 this dict grew with
-        # every host ever seen.
-        self._owner_hints = LruCache(OWNER_HINT_CACHE_SIZE)
+        # memoizes the parse/crc32 in _owner_hint.  Bounded (long churny
+        # runs mint fresh hosts forever); the bound grows with world size.
+        self._owner_hints = LruCache(OWNER_HINT_CACHE_FLOOR)
         # Latency-model memoization (e.g. PlanetLab load factors / pair base
         # RTTs), exposed so their hit/miss counters reach telemetry.
         self._latency_caches = latency.caches()
@@ -140,8 +160,11 @@ class Network:
             # Hot immutable structs (descriptors, piggybacked public keys)
             # are re-encoded on every gossip cycle; the LRU turns those into
             # one dict hit each.
-            self.encode_cache = LruCache(ENCODE_CACHE_SIZE)
+            self.encode_cache = LruCache(
+                max(ENCODE_CACHE_FLOOR, 2 * len(self._handlers))
+            )
         self._wire_mode = mode
+        self._recompile()
 
     @property
     def wire_mode(self) -> str:
@@ -155,10 +178,42 @@ class Network:
         if not self._topology.knows(node_id):
             raise ValueError(f"node {node_id} not in the NAT topology")
         self._handlers[node_id] = handler
+        arr = self._handler_arr
+        if node_id >= len(arr):
+            arr.extend([None] * (node_id + 1 - len(arr)))
+        arr[node_id] = handler
+        # Derive cache bounds from world size so eviction stays a
+        # churny-run safeguard rather than a steady-state thrash at scale.
+        # Monotonic: bounds only grow, so behaviour below the floor — and
+        # hence every historical trace — is unchanged.
+        hint_bound = 4 * len(self._handlers)
+        if hint_bound > self._owner_hints.capacity:
+            self._owner_hints.capacity = hint_bound
+        cache = self.encode_cache
+        if cache is not None:
+            encode_bound = max(ENCODE_CACHE_FLOOR, 2 * len(self._handlers))
+            if encode_bound > cache.capacity:
+                cache.capacity = encode_bound
+
+    def reserve_owner_hints(self, expected_hosts: int) -> None:
+        """Monotonically raise the owner-hint bound for a known host space.
+
+        ``attach`` derives the bound from *locally attached* handlers,
+        which undercounts for a sharded world: every partition's fabric
+        sends to the whole deployment's hosts, so its hint working set is
+        the global population.  The sharded harness calls this with the
+        deployment size after populating; like the ``attach`` derivation
+        the bound only ever grows, so behaviour below it is unchanged.
+        """
+        bound = 4 * expected_hosts
+        if bound > self._owner_hints.capacity:
+            self._owner_hints.capacity = bound
 
     def detach(self, node_id: NodeId) -> None:
         """Unregister a node: in-flight messages to it will be dropped."""
         self._handlers.pop(node_id, None)
+        if 0 <= node_id < len(self._handler_arr):
+            self._handler_arr[node_id] = None
 
     def is_attached(self, node_id: NodeId) -> bool:
         return node_id in self._handlers
@@ -169,143 +224,324 @@ class Network:
 
     def add_observer(self, observer: LinkObserver) -> None:
         self._observers.append(observer)
+        self._recompile()
 
     def set_fault_hook(self, hook: FaultHook | None) -> None:
         """Install (or clear) the fault injector consulted on every message."""
         self._fault_hook = hook
+        self._recompile()
+
+    def set_foreign_router(
+        self, router: Callable[[NodeId, Message, str, float], None] | None
+    ) -> None:
+        """Install the cross-shard escape hatch for non-local destinations.
+
+        In a sharded world each partition's fabric owns only its own
+        endpoints; a send towards a host absent from the local owner table
+        is handed to ``router(src_node, message, category, transit)``
+        *instead of* being scheduled for local delivery — after upload
+        accounting and the latency draw, so the sender-side pipeline
+        (counters, RNG stream order) is identical to a local send.  The
+        router decides whether the host belongs to a peer partition (queue
+        for the next barrier exchange) or is simply gone (schedule locally
+        so delivery filters it like any departed endpoint).
+        """
+        self._foreign_router = router
+        self._recompile()
 
     # ------------------------------------------------------------------
-    # data path
+    # data path (generated)
     # ------------------------------------------------------------------
-    def send(
-        self,
-        src_node: NodeId,
-        dst: Endpoint,
-        kind: str,
-        payload: object,
-        size_bytes: int,
-        protocol: Protocol = Protocol.UDP,
-        category: str = "other",
-    ) -> None:
-        """Emit one message.  Fire-and-forget: losses are silent, as on UDP.
+    # ``send`` and ``_deliver`` are instance attributes assigned by
+    # _recompile(); their signatures and observable behaviour follow the
+    # docstring below, which _recompile attaches to the generated send.
+
+    _SEND_DOC = """Emit one message.  Fire-and-forget: losses are silent, as on UDP.
 
         A send from a node that already departed (e.g. a mix killed between
         receiving an onion and its delayed forward) is dropped silently: the
         dead process cannot emit packets.
         """
-        sim = self._sim
-        visible_src = self._topology.outbound_for(src_node, dst, protocol, sim.now)
-        if visible_src is None:  # sender already departed
-            self.stats.filtered += 1
-            return
-        if self._wire_mode != "off":
-            if self._wire_mode == "verify":
-                # Loopback codec pass-through: the payload the receiver sees
-                # has been through encode->decode, so any value the codec
-                # cannot carry fails here, in the sim, not on a live socket.
-                frame = self._wire.encode_message(kind, payload, self.encode_cache)
-                self.wire_audit.record(kind, size_bytes, len(frame))
-                payload = self._wire.decode_message(frame).payload
-            else:
-                # measured: exact frame size from the size accumulator; no
-                # frame bytes, no CRC, payload delivered as in "off" mode.
-                measured = self._wire.encoded_size(kind, payload, self.encode_cache)
-                self.wire_audit.record(kind, size_bytes, measured)
-                size_bytes = measured
-        self.stats.sent += 1
-        self.accountant.record(src_node, -1, size_bytes, category)  # upload side
+
+    def _recompile(self) -> None:
+        """(Re)generate the specialized ``send`` / ``_deliver`` pair.
+
+        Must be called after any change to the fabric configuration the
+        generated code is specialized on.  Membership changes (attach /
+        detach / topology add/remove) do *not* require recompiling: the
+        generated code indexes the shared struct-of-arrays tables, which
+        are mutated in place.
+        """
         tel = self.telemetry
-        if tel.enabled:
-            tel.counter("net.msgs_sent", node=src_node, layer="net").inc()
-            tel.counter("net.up_bytes", node=src_node, layer="net").inc(size_bytes)
-            tel.counter("net.kind_msgs", kind=kind, layer="net").inc()
-            self._publish_cache_counters(tel)
-        hint = self._owner_hints.get(dst.host)
-        if hint is None:  # cold path: first message towards this host
-            hint = self._owner_hint(dst)
-        if self._fault_hook is not None:
-            reason = self._fault_hook.on_send(src_node, hint)
-            if reason is not None:
-                self.stats.lost += 1
-                tel.counter("net.lost", layer="net").inc()
-                self._observe(
-                    src_node, None, visible_src, dst, kind, payload, size_bytes
-                )
-                return
-        latency = self._latency
-        if latency.is_lost(src_node, hint):
-            self.stats.lost += 1
-            tel.counter("net.lost", layer="net").inc()
-            self._observe(src_node, None, visible_src, dst, kind, payload, size_bytes)
-            return
-        extra_delay = 0.0
-        copies = 1
-        hook = self._fault_hook
-        if hook is not None and getattr(hook, "shaping_active", False):
+        tel_on = bool(tel.enabled)
+        hook = self._fault_hook is not None
+        observers = bool(self._observers)
+        router = self._foreign_router is not None
+        mode = self._wire_mode
+        spec = self._latency.fastpath_spec()
+
+        lines = ["def _deliver(src_node, message, category):"]
+        emit = lines.append
+        observe_miss = (
+            "        _observe(src_node, None, message.src, dst, message.kind,"
+            " message.payload, message.size_bytes)"
+        )
+        emit("    dst = message.dst")
+        emit("    entry = _owner_map.get(dst.host)")
+        emit("    owner = -1")
+        emit("    if entry is not None:")
+        emit("        device = entry[1]")
+        emit("        if device is None:")
+        emit("            owner = entry[0]")
+        emit(
+            "        elif device.inbound(dst.port, message.src,"
+            " message.protocol, _sim.now) is not None:"
+        )
+        emit("            owner = entry[0]")
+        emit("    if owner < 0:")
+        emit("        _stats.filtered += 1")
+        if tel_on:
+            emit('        _counter("net.filtered", layer="net").inc()')
+        if observers:
+            emit(observe_miss)
+        emit("        return")
+        if hook:
+            # Faults that arose while the message was in flight (a partition
+            # forming, a node stalling) still swallow it on arrival.
+            emit("    if _hook.on_deliver(src_node, owner) is not None:")
+            emit("        _stats.lost += 1")
+            if tel_on:
+                emit('        _counter("net.lost", layer="net").inc()')
+            if observers:
+                emit(observe_miss)
+            emit("        return")
+        emit("    try:")
+        emit("        handler = _handler_arr[owner]")
+        emit("    except IndexError:")
+        emit("        handler = None")
+        if observers:
+            emit(
+                "    _observe(src_node, owner, message.src, dst, message.kind,"
+                " message.payload, message.size_bytes)"
+            )
+        emit("    if handler is None:")
+        emit("        _stats.no_handler += 1")
+        if tel_on:
+            emit('        _counter("net.no_handler", layer="net").inc()')
+        emit("        return")
+        emit("    _stats.delivered += 1")
+        emit("    size = message.size_bytes")
+        emit("    cols = _acct_cols.get(category)")
+        emit("    if cols is None:")
+        emit("        cols = _cat_cols(category)")
+        emit("    try:")
+        emit("        cols[1][owner] += size")
+        emit("    except IndexError:")
+        emit("        _acct_grow(owner)")
+        emit("        cols[1][owner] += size")
+        emit("    cols[3][owner] += size")
+        emit("    _acct_touched[owner] = None")
+        emit("    _acct_win_touched[owner] = None")
+        if tel_on:
+            emit('    _counter("net.msgs_delivered", node=owner, layer="net").inc()')
+            emit('    _counter("net.down_bytes", node=owner, layer="net").inc(size)')
+            emit(
+                '    _counter("net.link.msgs", src=src_node, dst=owner,'
+                ' layer="net").inc()'
+            )
+            emit(
+                '    _counter("net.link.bytes", src=src_node, dst=owner,'
+                ' layer="net").inc(size)'
+            )
+        emit("    handler(message)")
+
+        emit("")
+        emit(
+            "def send(src_node, dst, kind, payload, size_bytes,"
+            ' protocol=_UDP, category="other"):'
+        )
+        observe_drop = (
+            "        _observe(src_node, None, visible_src, dst, kind,"
+            " payload, size_bytes)"
+        )
+        emit("    if src_node >= 0:")
+        emit("        try:")
+        emit("            local = _local[src_node]")
+        emit("        except IndexError:")
+        emit("            local = None")
+        emit("    else:")
+        emit("        local = None")
+        emit("    if local is None:  # sender already departed")
+        emit("        _stats.filtered += 1")
+        emit("        return")
+        emit("    device = _device[src_node]")
+        emit("    if device is None:")
+        emit("        visible_src = local")
+        emit("    else:")
+        emit("        visible_src = device.outbound(local, dst, protocol, _sim.now)")
+        if mode == "verify":
+            # Loopback codec pass-through: the payload the receiver sees
+            # has been through encode->decode, so any value the codec
+            # cannot carry fails here, in the sim, not on a live socket.
+            emit("    frame = _wire_encode(kind, payload, _encode_cache)")
+            emit("    _audit_record(kind, size_bytes, len(frame))")
+            emit("    payload = _wire_decode(frame).payload")
+        elif mode == "measured":
+            # measured: exact frame size from the size accumulator; no
+            # frame bytes, no CRC, payload delivered as in "off" mode.
+            emit("    measured = _wire_size(kind, payload, _encode_cache)")
+            emit("    _audit_record(kind, size_bytes, measured)")
+            emit("    size_bytes = measured")
+        emit("    _stats.sent += 1")
+        emit("    cols = _acct_cols.get(category)")  # upload side
+        emit("    if cols is None:")
+        emit("        cols = _cat_cols(category)")
+        emit("    try:")
+        emit("        cols[0][src_node] += size_bytes")
+        emit("    except IndexError:")
+        emit("        _acct_grow(src_node)")
+        emit("        cols[0][src_node] += size_bytes")
+        emit("    cols[2][src_node] += size_bytes")
+        emit("    _acct_touched[src_node] = None")
+        emit("    _acct_win_touched[src_node] = None")
+        if tel_on:
+            emit('    _counter("net.msgs_sent", node=src_node, layer="net").inc()')
+            emit(
+                '    _counter("net.up_bytes", node=src_node,'
+                ' layer="net").inc(size_bytes)'
+            )
+            emit('    _counter("net.kind_msgs", kind=kind, layer="net").inc()')
+            emit("    _publish_caches(_tel)")
+        # Owner hint: inlined LruCache.lookup (counted, no recency churn).
+        emit("    hint = _hints_data.get(dst.host)")
+        emit("    if hint is None:  # cold path: first message towards this host")
+        emit("        _hints.misses += 1")
+        emit("        hint = _owner_hint(dst)")
+        emit("    else:")
+        emit("        _hints.hits += 1")
+        if hook:
+            emit("    if _hook.on_send(src_node, hint) is not None:")
+            emit("        _stats.lost += 1")
+            if tel_on:
+                emit('        _counter("net.lost", layer="net").inc()')
+            if observers:
+                emit(observe_drop)
+            emit("        return")
+        if spec is None:
+            emit("    if _is_lost(src_node, hint):")
+            emit("        _stats.lost += 1")
+            if tel_on:
+                emit('        _counter("net.lost", layer="net").inc()')
+            if observers:
+                emit(observe_drop)
+            emit("        return")
+        if spec is not None and spec["kind"] == "cluster":
+            transit = "_lat_base + size_bytes * 8 / _lat_bw + _lognorm(_lat_mu, _lat_sigma)"
+        elif spec is not None:  # fixed
+            transit = "_lat_const"
+        else:
+            transit = "_delay(src_node, hint, size_bytes)"
+        emit(
+            "    message = _Message(visible_src, dst, kind, payload,"
+            " size_bytes, protocol, _next_msg_id())"
+        )
+        if hook:
             # Transit shaping (delay/duplicate/reorder windows): only
             # consulted while such a directive is live, so plans without
             # shaping keep traces byte-identical with pre-shaping runs.
-            extra_delay, copies = hook.on_transit(src_node, hint)
-        message = Message(
-            visible_src, dst, kind, payload, size_bytes, protocol,
-            next(self._msg_ids),
-        )
-        transit = latency.delay(src_node, hint, size_bytes) + extra_delay
-        for _ in range(copies):
-            sim.schedule(
-                transit,
-                partial(self._deliver, src_node, message, category),
+            emit('    if getattr(_hook, "shaping_active", False):')
+            emit("        extra_delay, copies = _hook.on_transit(src_node, hint)")
+            emit(f"        transit = {transit} + extra_delay")
+            emit("        for _ in range(copies):")
+            if router:
+                emit("            if dst.host not in _owner_map:")
+                emit("                _route(src_node, message, category, transit)")
+                emit("                continue")
+            emit(
+                "            _schedule(transit,"
+                " _partial(_net._deliver, src_node, message, category))"
             )
+            emit("        return")
+        emit(f"    transit = {transit}")
+        emit("    if transit < 0.0:")
+        emit(
+            "        raise _SimulationError("
+            "f'cannot schedule in the past (delay={transit})')"
+        )
+        if router:
+            emit("    if dst.host not in _owner_map:")
+            emit("        _route(src_node, message, category, transit)")
+            emit("        return")
+        # Inlined Simulator.schedule: one Event + heap push, no call.
+        emit("    time = _sim.now + transit")
+        emit("    seq = _next_seq()")
+        emit(
+            "    _heappush(_queue, (time, 0, seq, _Event(time, 0, seq,"
+            " _partial(_net._deliver, src_node, message, category), False, _sim)))"
+        )
+        emit("    _sim._sched_delta += 1")
 
-    def _deliver(self, src_node: NodeId, message: Message, category: str) -> None:
-        now = self._sim.now
-        owner = self._topology.resolve_inbound(
-            message.dst, message.src, message.protocol, now
-        )
-        tel = self.telemetry
-        if owner is None:
-            self.stats.filtered += 1
-            tel.counter("net.filtered", layer="net").inc()
-            self._observe(
-                src_node, None, message.src, message.dst, message.kind,
-                message.payload, message.size_bytes,
-            )
-            return
-        if self._fault_hook is not None:
-            # Faults that arose while the message was in flight (a partition
-            # forming, a node stalling) still swallow it on arrival.
-            reason = self._fault_hook.on_deliver(src_node, owner)
-            if reason is not None:
-                self.stats.lost += 1
-                tel.counter("net.lost", layer="net").inc()
-                self._observe(
-                    src_node, None, message.src, message.dst, message.kind,
-                    message.payload, message.size_bytes,
-                )
-                return
-        handler = self._handlers.get(owner)
-        self._observe(
-            src_node, owner, message.src, message.dst, message.kind,
-            message.payload, message.size_bytes,
-        )
-        if handler is None:
-            self.stats.no_handler += 1
-            tel.counter("net.no_handler", layer="net").inc()
-            return
-        self.stats.delivered += 1
-        self.accountant.record(-1, owner, message.size_bytes, category)
-        if tel.enabled:
-            tel.counter("net.msgs_delivered", node=owner, layer="net").inc()
-            tel.counter("net.down_bytes", node=owner, layer="net").inc(
-                message.size_bytes
-            )
-            tel.counter(
-                "net.link.msgs", src=src_node, dst=owner, layer="net"
-            ).inc()
-            tel.counter(
-                "net.link.bytes", src=src_node, dst=owner, layer="net"
-            ).inc(message.size_bytes)
-        handler(message)
+        topo = self._topology
+        acct = self.accountant
+        namespace = {
+            # _net._deliver is resolved per send (not bound at compile
+            # time) so tests and instrumentation can wrap it.
+            "_net": self,
+            "_sim": self._sim,
+            "_stats": self.stats,
+            "_local": topo._local,
+            "_device": topo._device,
+            "_owner_map": topo._owner,
+            "_handler_arr": self._handler_arr,
+            "_hints": self._owner_hints,
+            "_hints_data": self._owner_hints._data,
+            "_owner_hint": self._owner_hint,
+            "_acct_cols": acct._cols,
+            "_cat_cols": acct.category_columns,
+            "_acct_grow": acct.grow,
+            "_acct_touched": acct._touched,
+            "_acct_win_touched": acct._win_touched,
+            "_tel": tel,
+            "_counter": tel.counter,
+            "_publish_caches": self._publish_cache_counters,
+            "_observe": self._observe,
+            "_hook": self._fault_hook,
+            "_route": self._foreign_router,
+            "_Message": Message,
+            "_Event": Event,
+            "_SimulationError": SimulationError,
+            "_partial": partial,
+            "_heappush": heapq.heappush,
+            "_queue": self._sim._queue,
+            "_next_seq": self._sim._seq.__next__,
+            "_next_msg_id": self._msg_ids.__next__,
+            "_schedule": self._sim.schedule,
+            "_UDP": Protocol.UDP,
+            "_is_lost": self._latency.is_lost,
+            "_delay": self._latency.delay,
+        }
+        if mode != "off":
+            namespace["_wire_encode"] = self._wire.encode_message
+            namespace["_wire_decode"] = self._wire.decode_message
+            namespace["_wire_size"] = self._wire.encoded_size
+            namespace["_audit_record"] = self.wire_audit.record
+            namespace["_encode_cache"] = self.encode_cache
+        if spec is not None and spec["kind"] == "cluster":
+            namespace["_lat_base"] = spec["base"]
+            namespace["_lat_bw"] = spec["bw"]
+            namespace["_lat_mu"] = spec["mu"]
+            namespace["_lat_sigma"] = spec["sigma"]
+            namespace["_lognorm"] = spec["lognorm"]
+        elif spec is not None:
+            namespace["_lat_const"] = spec["delay"]
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
+        deliver = namespace["_deliver"]
+        sender = namespace["send"]
+        deliver.__qualname__ = "Network._deliver[compiled]"
+        sender.__qualname__ = "Network.send[compiled]"
+        sender.__doc__ = self._SEND_DOC
+        self._deliver = deliver
+        self.send = sender
 
     # ------------------------------------------------------------------
     def _owner_hint(self, dst: Endpoint) -> NodeId:
@@ -320,7 +556,7 @@ class Network:
         guarantee — so we use crc32.
         """
         host = dst.host
-        # peek, not get: send() already counted this lookup as a miss.
+        # peek, not lookup: send() already counted this access as a miss.
         hint = self._owner_hints.peek(host)
         if hint is not None:
             return hint
@@ -334,6 +570,31 @@ class Network:
             hint = zlib.crc32(host.encode()) & 0x7FFFFFFF
         self._owner_hints.put(host, hint)
         return hint
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction totals for every fabric-owned cache.
+
+        Deterministic (counters track the message stream, not the clock),
+        so scale benches record them as extras: a hit-rate collapse or an
+        eviction storm is behavioural drift the compare gate should see,
+        distinct from a wall-clock regression.
+        """
+        stats = {
+            "net.owner_hint": self._owner_hints,
+            **self._latency_caches,
+        }
+        if self.encode_cache is not None and self._wire_mode != "off":
+            stats["wire.encode"] = self.encode_cache
+        return {
+            name: {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": len(cache),
+                "capacity": cache.capacity,
+            }
+            for name, cache in stats.items()
+        }
 
     def _publish_cache_counters(self, tel: "Telemetry") -> None:
         """Flush cache hit/miss deltas into telemetry counters.

@@ -55,6 +55,16 @@ def main(argv: list[str] | None = None) -> int:
                             choices=("off", "verify", "measured"),
                             help="wire codec mode for benches that take one "
                                  "(scale1k/fig6)")
+    run_parser.add_argument("--cycles", type=int, default=None,
+                            help="gossip cycles / barrier windows for benches "
+                                 "that take them (scale1k/scale100k)")
+    run_parser.add_argument("--partitions", type=int, default=None,
+                            help="deterministic shard count (scale100k); part "
+                                 "of the world's identity like the seed")
+    run_parser.add_argument("--shards", type=int, default=None,
+                            help="execution lanes for sharded benches "
+                                 "(scale100k); output is byte-identical at "
+                                 "any count")
     run_parser.add_argument("--trajectory", action="store_true",
                             help=f"also write {TRAJECTORY_FILE} at the repo root "
                                  f"(default for the canonical '{CANONICAL_BENCH}' bench "
@@ -104,6 +114,15 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
                 return 2
             kwargs["wire_mode"] = args.wire_mode
+        for flag in ("cycles", "partitions", "shards"):
+            value = getattr(args, flag)
+            if value is None:
+                continue
+            if flag not in params:
+                print(f"error: bench {args.bench!r} does not take --{flag}",
+                      file=sys.stderr)
+                return 2
+            kwargs[flag] = value
         result = run_bench(args.bench, **kwargs)
         out = args.out or f"benchmarks/results/BENCH_{args.bench}.json"
         result.write(out)

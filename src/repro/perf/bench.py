@@ -15,6 +15,11 @@ Each entry builds a deterministic workload, runs it under a
   sweep benchmark (``workers=N`` exercises the parallel executor).
 - ``scale`` — the 5,000-node PSS+WCL headroom experiment
   (:mod:`repro.experiments.scale`).
+- ``scale100k`` — the sharded-core headline: 100,000 nodes across
+  ``partitions`` deterministic shards gossiping for ``cycles`` barrier
+  windows (:mod:`repro.harness.sharded`).  ``shards`` (execution lanes)
+  lands in the timing half only — the deterministic half, including the
+  merged trace SHA, is byte-identical at any lane count.
 - ``bench_load`` — the heavy-traffic ``mixed`` workload scenario
   (:mod:`repro.experiments.load`): CBR streams + Zipf lookups + a flash
   crowd over one world.  The probe's deterministic extras carry the
@@ -102,6 +107,90 @@ def run_scale1k(
     probe.attach_sim(world.sim)
     probe.attach_telemetry(world.telemetry)
     probe.record("net", _net_stats(world))
+    probe.record("caches", world.network.cache_stats())
+    return probe.finish()
+
+
+class _AggregateSim:
+    """Deployment-wide ``sim`` section for a sharded world's probe."""
+
+    def __init__(self, sharded: Any) -> None:
+        self.events_processed = sharded.events_processed
+        self.now = sharded.now
+        self._pending = sum(w.sim.pending() for w in sharded.worlds)
+
+    def pending(self) -> int:
+        return self._pending
+
+
+def run_scale100k(
+    scale: float = 1.0,
+    seed: int = 1013,
+    alloc: bool = False,
+    label: str = "",
+    cycles: int = 6,
+    partitions: int = 8,
+    shards: int = 1,
+) -> PerfResult:
+    """A 100,000-node gossip window on the sharded simulation core.
+
+    The population joins through the usual introducer bootstrap, then
+    gossips for ``cycles`` PSS cycles with a cross-shard barrier at every
+    cycle edge.  ``partitions`` is part of the deterministic config (it is
+    part of the world's identity, like the seed); ``shards`` — the
+    execution-lane count — is annotated in the timing half only, because
+    results are byte-identical at any lane count.  The deterministic
+    extras pin the merged trace SHA, the deployment-wide fabric totals,
+    per-partition populations and the cross-shard message count; the
+    timing half carries per-partition compute seconds and peak-RSS
+    watermarks plus the total barrier cost, so the gate sees both *what*
+    the sharded core computed and *where* the wall-clock went.
+    """
+    from ..harness.sharded import ShardedWorld
+
+    n_nodes = scaled(100_000, scale, minimum=1_000)
+    probe = PerfProbe(
+        "scale100k",
+        config={
+            "nodes": n_nodes, "cycles": cycles, "seed": seed,
+            "partitions": partitions, "natted_fraction": 0.7, "scale": scale,
+        },
+        alloc=alloc,
+        label=label,
+    )
+    probe.annotate_timing("shards", shards)
+    # Telemetry stays OFF like scale1k: per-link counters at 100k nodes
+    # would dominate the run.  The merged trace SHA is still a strong
+    # witness because the shard headers embed each partition's event
+    # count, clock and fabric totals; the telemetry-on JSONL equivalence
+    # is pinned at small scale by tests/test_sharded.py.
+    sharded = ShardedWorld(WorldConfig(seed=seed), partitions=partitions)
+    with probe.phase("populate"):
+        sharded.populate(n_nodes)
+        sharded.start_all()
+    with probe.phase("gossip"):
+        sharded.run_windows(10.0, cycles, shards=shards)
+    probe.attach_sim(_AggregateSim(sharded))
+    for world in sharded.worlds:
+        probe.attach_telemetry(world.telemetry, accumulate=True)
+    probe.record("net", sharded.net_totals())
+    probe.record("trace_sha", sharded.trace_sha())
+    probe.record("partition_nodes", [len(w.nodes) for w in sharded.worlds])
+    probe.record("cross_shard_msgs", sharded.cross_shard_msgs)
+    caches = [w.network.cache_stats() for w in sharded.worlds]
+    probe.record("caches", {
+        name: {
+            key: sum(c[name][key] for c in caches)
+            for key in ("hits", "misses", "evictions", "size", "capacity")
+        }
+        for name in caches[0]
+    })
+    probe.annotate_timing(
+        "shard_compute_s", [round(s, 6) for s in sharded.compute_s]
+    )
+    probe.annotate_timing("shard_peak_rss_kb", list(sharded.partition_rss_kb))
+    probe.annotate_timing("barrier_s", round(sharded.barrier_s, 6))
+    probe.annotate_timing("barrier_windows", sharded.barrier_windows)
     return probe.finish()
 
 
@@ -342,6 +431,7 @@ def run_bench_onion_throughput(
 
 BENCHES: dict[str, Callable[..., PerfResult]] = {
     "scale1k": run_scale1k,
+    "scale100k": run_scale100k,
     "fig5": run_fig5,
     "fig6": run_fig6,
     "scale": run_scale_experiment,

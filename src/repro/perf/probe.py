@@ -218,9 +218,16 @@ class PerfProbe:
             "pending_final": sim.pending(),
         }
 
-    def attach_telemetry(self, telemetry: "Telemetry") -> None:
-        """Sum every telemetry counter by name (deterministic totals)."""
-        totals: dict[str, float] = {}
+    def attach_telemetry(
+        self, telemetry: "Telemetry", accumulate: bool = False
+    ) -> None:
+        """Sum every telemetry counter by name (deterministic totals).
+
+        ``accumulate=True`` adds into the totals already attached — a
+        sharded world carries one telemetry instance per partition, and the
+        probe document wants the deployment-wide sums.
+        """
+        totals: dict[str, float] = dict(self._counters) if accumulate else {}
         for (name, _labels), metric in telemetry.metrics.items():
             if metric.kind != "counter":
                 continue

@@ -141,14 +141,19 @@ class Simulator:
         """Number of events that have fired so far."""
         return self._events_processed
 
-    def pending(self) -> int:
-        """Number of *live* events still queued.
+    @property
+    def live_events(self) -> int:
+        """Number of *live* events still queued (O(1)).
 
         Cancelled events awaiting lazy deletion are excluded: callers (and
         the ``sim.pending`` telemetry gauge) want actual scheduled work, not
         heap occupancy.  An earlier revision returned ``len(self._queue)``,
         overstating queue depth after cancellation storms.
         """
+        return len(self._queue) - self._cancelled_in_queue
+
+    def pending(self) -> int:
+        """Alias for :attr:`live_events` (historical method form)."""
         return len(self._queue) - self._cancelled_in_queue
 
     # ------------------------------------------------------------------
@@ -276,11 +281,20 @@ class Simulator:
         Compaction never touches the ``sim.cancelled_skipped`` counter —
         that counts only cancelled events *popped* by explicit ``step()``
         calls, and compacted entries are never popped.
+
+        The trigger floor scales with queue size: a fixed floor would make
+        a deep queue (100k-node runs hold hundreds of thousands of pending
+        timers) compact — an O(queue) rebuild — on a trickle of
+        cancellations that is negligible relative to the heap.  Tombstones
+        must both exceed the proportional floor *and* outnumber live
+        entries, so each O(n) rebuild is paid for by Ω(n) cancellations
+        and the amortized cost per cancel stays O(1) at any depth.
         """
         self._cancelled_in_queue += 1
+        queue_len = len(self._queue)
         if (
-            self._cancelled_in_queue > 64
-            and self._cancelled_in_queue * 2 > len(self._queue)
+            self._cancelled_in_queue > 64 + (queue_len >> 3)
+            and self._cancelled_in_queue * 2 > queue_len
         ):
             # In-place rebuild: run()/step() hold direct references to the
             # queue list, so its identity must survive compaction.

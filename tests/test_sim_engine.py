@@ -194,6 +194,48 @@ class TestPendingAccounting:
         assert sim.events_processed == 1
         assert sim.pending() == 0
 
+    def test_live_events_property_matches_pending(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        assert sim.live_events == sim.pending() == 20
+        for event in events[::2]:
+            event.cancel()
+        assert sim.live_events == sim.pending() == 10
+
+    def test_million_event_cancellation_storm(self):
+        """1M schedules with a 90% cancel storm stays amortized-linear.
+
+        The proportional compaction threshold (64 + len/8, majority-dead)
+        is what makes this finish: a fixed small threshold would recompact
+        a ~1M-entry heap on every few hundred cancels — quadratic blowup
+        measured in minutes.  The whole schedule/cancel/drain cycle must
+        come in well under the timeout budget, the queue must actually
+        shrink, and live_events stays O(1)-consistent throughout.
+        """
+        import time
+
+        sim = Simulator()
+        n = 1_000_000
+        started = time.perf_counter()
+        fired = [0]
+        events = []
+        append = events.append
+        callback = lambda: fired.__setitem__(0, fired[0] + 1)  # noqa: E731
+        for i in range(n):
+            append(sim.schedule(1.0 + (i % 997) * 0.001, callback))
+        for i, event in enumerate(events):
+            if i % 10:  # cancel 90%
+                event.cancel()
+        assert sim.live_events == n // 10
+        # Compaction fired during the storm: tombstones are a bounded
+        # *fraction* of the heap, never a multiple of the survivors.
+        assert len(sim._queue) <= 2 * sim.live_events + 64
+        sim.run()
+        elapsed = time.perf_counter() - started
+        assert fired[0] == n // 10
+        assert sim.live_events == 0
+        assert elapsed < 60.0, f"storm took {elapsed:.1f}s - compaction regressed"
+
 
 class TestPeriodicTask:
     def test_ticks_at_period(self):
